@@ -1,0 +1,77 @@
+// Command strollsolve solves a standalone n-stroll instance read from
+// stdin or a file and compares the three solvers (DP-Stroll, Exhaustive,
+// PrimalDual).
+//
+// Input format (whitespace separated):
+//
+//	V            — number of vertices of the metric closure
+//	V×V floats   — the symmetric cost matrix, row major
+//	S T N        — terminals and required distinct intermediates
+//
+// Example:
+//
+//	echo "4  0 2 3 4  2 0 1 2  3 1 0 1  4 2 1 0  0 3 2" | strollsolve
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"vnfopt"
+)
+
+func main() {
+	in, err := parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strollsolve: %v\n", err)
+		os.Exit(1)
+	}
+	dp, err := vnfopt.SolveStrollDP(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strollsolve: DP: %v\n", err)
+		os.Exit(1)
+	}
+	opt, err := vnfopt.SolveStrollOptimal(in, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strollsolve: Exhaustive: %v\n", err)
+		os.Exit(1)
+	}
+	pd, err := vnfopt.SolveStrollPrimalDual(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strollsolve: PrimalDual: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instance: |V|=%d s=%d t=%d n=%d\n", len(in.Cost), in.S, in.T, in.N)
+	fmt.Printf("DP-Stroll  : cost=%g walk=%v\n", dp.Cost, dp.Walk)
+	fmt.Printf("Exhaustive : cost=%g walk=%v optimal=%v\n", opt.Cost, opt.Walk, opt.Optimal)
+	fmt.Printf("PrimalDual : cost=%g walk=%v\n", pd.Cost, pd.Walk)
+}
+
+func parse(r *bufio.Reader) (vnfopt.StrollInstance, error) {
+	var nv int
+	if _, err := fmt.Fscan(r, &nv); err != nil {
+		return vnfopt.StrollInstance{}, fmt.Errorf("reading vertex count: %w", err)
+	}
+	if nv <= 0 || nv > 10000 {
+		return vnfopt.StrollInstance{}, fmt.Errorf("implausible vertex count %d", nv)
+	}
+	cost := make([][]float64, nv)
+	for i := range cost {
+		cost[i] = make([]float64, nv)
+		for j := range cost[i] {
+			if _, err := fmt.Fscan(r, &cost[i][j]); err != nil {
+				return vnfopt.StrollInstance{}, fmt.Errorf("reading cost[%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	var s, t, n int
+	if _, err := fmt.Fscan(r, &s, &t, &n); err != nil {
+		return vnfopt.StrollInstance{}, fmt.Errorf("reading s t n: %w", err)
+	}
+	in := vnfopt.StrollInstance{Cost: cost, S: s, T: t, N: n}
+	if err := in.Validate(); err != nil {
+		return vnfopt.StrollInstance{}, err
+	}
+	return in, nil
+}

@@ -1,0 +1,81 @@
+// Command topgen generates PPDC topologies and dumps them as Graphviz DOT
+// or a summary.
+//
+// Usage:
+//
+//	topgen -topo fat-tree -k 4 -format dot > k4.dot
+//	topgen -topo linear -size 5 -format summary
+//	topgen -topo mesh -size 12 -hosts 8 -extra 6 -seed 7 -weighted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vnfopt"
+	"vnfopt/internal/graph"
+)
+
+func main() {
+	var (
+		kind     = flag.String("topo", "fat-tree", "topology: fat-tree, linear, ring, star, mesh")
+		k        = flag.Int("k", 4, "fat-tree arity (even)")
+		size     = flag.Int("size", 5, "switch count for linear/ring/star/mesh")
+		hosts    = flag.Int("hosts", 8, "host count for mesh")
+		extra    = flag.Int("extra", 4, "extra edges for mesh")
+		seed     = flag.Int64("seed", 1, "RNG seed for mesh/weighted links")
+		weighted = flag.Bool("weighted", false, "paper link-delay weights instead of unit weights")
+		format   = flag.String("format", "summary", "output: summary or dot")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var weight vnfopt.WeightFunc
+	if *weighted {
+		weight = vnfopt.PaperDelay(rng)
+	}
+
+	var (
+		topo *vnfopt.Topology
+		err  error
+	)
+	switch *kind {
+	case "fat-tree":
+		topo, err = vnfopt.FatTree(*k, weight)
+	case "linear":
+		topo, err = vnfopt.Linear(*size, weight)
+	case "ring":
+		topo, err = vnfopt.Ring(*size, weight)
+	case "star":
+		topo, err = vnfopt.Star(*size, weight)
+	case "mesh":
+		topo, err = vnfopt.RandomMesh(*size, *hosts, *extra, weight, rng)
+	default:
+		err = fmt.Errorf("unknown topology %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "dot":
+		if err := topo.Graph.WriteDOT(os.Stdout, "ppdc", topo.Labels); err != nil {
+			fmt.Fprintf(os.Stderr, "topgen: %v\n", err)
+			os.Exit(1)
+		}
+	case "summary":
+		apsp := graph.AllPairs(topo.Graph)
+		fmt.Printf("topology: %s\n", topo.Name)
+		fmt.Printf("hosts:    %d\n", topo.NumHosts())
+		fmt.Printf("switches: %d\n", topo.NumSwitches())
+		fmt.Printf("edges:    %d\n", topo.Graph.Size())
+		fmt.Printf("racks:    %d\n", len(topo.Racks))
+		fmt.Printf("diameter: %g\n", apsp.Diameter())
+	default:
+		fmt.Fprintf(os.Stderr, "topgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

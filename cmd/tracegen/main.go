@@ -1,0 +1,122 @@
+// Command tracegen generates replayable experiment traces (topology spec,
+// workload, hourly burst schedule) as JSON, and replays them through the
+// TOP/TOM pipeline.
+//
+// Usage:
+//
+//	tracegen -k 8 -flows 200 -racks 5 -seed 7 > day.json
+//	tracegen -replay day.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/trace"
+	"vnfopt/internal/workload"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", 8, "fat-tree arity")
+		flows  = flag.Int("flows", 200, "VM pair count")
+		racks  = flag.Int("racks", 5, "tenant rack count")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+		mu     = flag.Float64("mu", 1e4, "migration coefficient for -replay")
+		replay = flag.String("replay", "", "trace file to replay instead of generating")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		if err := replayTrace(*replay, *mu); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := trace.TopoSpec{Kind: "fat-tree", K: *k}
+	topo, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	w, err := workload.PairsClustered(topo, *flows, *racks, workload.DefaultIntraRack, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	sched, err := workload.PaperBurst().Schedule(topo, w, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	tr := &trace.Trace{
+		Version:  trace.FormatVersion,
+		Topology: spec,
+		Flows:    trace.FromWorkload(w),
+		Schedule: sched,
+	}
+	if err := trace.Save(os.Stdout, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// replayTrace loads a trace and runs the TOP + hourly TOM pipeline on it.
+func replayTrace(path string, mu float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	topo, err := tr.Topology.Build()
+	if err != nil {
+		return err
+	}
+	d, err := model.New(topo, model.Options{})
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(d); err != nil {
+		return err
+	}
+	base := tr.Workload()
+	sfc := model.NewSFC(5)
+	if len(tr.Schedule) == 0 {
+		p, c, err := (placement.DP{}).Place(d, base, sfc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("static trace: placement %v, C_a = %.0f\n", p, c)
+		return nil
+	}
+	p, _, err := (placement.DP{}).Place(d, base.WithRates(tr.Schedule[0]), sfc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%4s  %14s  %6s\n", "hour", "mPareto C_t", "moves")
+	total := 0.0
+	for h, rates := range tr.Schedule {
+		w := base.WithRates(rates)
+		m, ct, err := (migration.MPareto{}).Migrate(d, w, sfc, p, mu)
+		if err != nil {
+			return fmt.Errorf("hour %d: %w", h+1, err)
+		}
+		fmt.Printf("%4d  %14.0f  %6d\n", h+1, ct, migration.MigrationCount(p, m))
+		total += ct
+		p = m
+	}
+	fmt.Printf("day total: %.0f\n", total)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command vnfsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	vnfsim -list
+//	vnfsim -exp fig7                  # one figure at paper scale
+//	vnfsim -exp all -quick            # everything at CI scale
+//	vnfsim -exp fig11ab -runs 5       # override repetition count
+//
+// Each experiment prints the table(s) corresponding to one figure of the
+// paper's Section VI (see DESIGN.md for the experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vnfopt/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "CI-scale parameters instead of paper scale")
+		runs   = flag.Int("runs", 0, "override repetitions per data point (0 = config default)")
+		seed   = flag.Int64("seed", 0, "override base RNG seed (0 = config default)")
+		budget = flag.Int("budget", 0, "override the Optimal search node budget (0 = config default)")
+		mu     = flag.Float64("mu", 0, "override the VNF migration coefficient μ (0 = config default)")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *budget > 0 {
+		cfg.OptBudget = *budget
+	}
+	if *mu > 0 {
+		cfg.Mu = *mu
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnfsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s) ===\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Printf("# %s\n", t.Title)
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "vnfsim: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+				continue
+			}
+			t.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Placementcompare: pit all four TOP algorithms (Optimal, DP, Steering,
+// Greedy) against each other on a weighted PPDC with realistic link
+// delays, the setting of the paper's Fig. 10, and report how close each
+// comes to the proven optimum.
+//
+// Run with: go run ./examples/placementcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vnfopt"
+)
+
+func main() {
+	// k=4 keeps the exhaustive Optimal provably optimal in milliseconds.
+	rng := rand.New(rand.NewSource(5))
+	topo := vnfopt.MustFatTree(4, vnfopt.PaperDelay(rng))
+	dc := vnfopt.MustNewPPDC(topo, vnfopt.Options{})
+	flows := vnfopt.MustGeneratePairs(topo, 60, vnfopt.DefaultIntraRack, rng)
+
+	fmt.Printf("weighted %s (uniform link delay 1.5±0.5 ms), %d flows\n\n",
+		topo.Name, len(flows))
+	fmt.Printf("%3s  %12s  %12s  %12s  %12s\n", "n", "Optimal", "DP", "Steering", "Greedy")
+
+	for n := 2; n <= 6; n++ {
+		sfc := vnfopt.NewSFC(n)
+		_, opt, err := vnfopt.OptimalPlacement(0).Place(dc, flows, sfc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%3d  %12.1f", n, opt)
+		for _, s := range []vnfopt.PlacementSolver{
+			vnfopt.DPPlacement(), vnfopt.SteeringPlacement(), vnfopt.GreedyPlacement(),
+		} {
+			_, c, err := s.Place(dc, flows, sfc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %7.1f(+%2.0f%%)", c, 100*(c-opt)/opt)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\npercentages are cost above the proven optimum; the paper reports")
+	fmt.Println("DP within 6-12% of Optimal and 56-64% below Steering/Greedy at k=8.")
+}

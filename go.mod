@@ -1,0 +1,3 @@
+module vnfopt
+
+go 1.22

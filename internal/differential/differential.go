@@ -1,0 +1,142 @@
+// Package differential cross-checks every solver in the library against
+// every other on one scenario — the invariant web that must hold no
+// matter the topology, workload, or parameters:
+//
+//	TOP:  Optimal ≤ DP ≤ {Steering, Greedy};  Anneal ≤ DP;
+//	      every placement validates (capacity, switch-only).
+//	TOM:  Optimal ≤ {mPareto, LayeredDP, surrogate} ≤ NoMigration;
+//	      LayeredDP's unconstrained bound ≤ Optimal;
+//	      every reported C_t matches the model evaluation.
+//
+// One call = one differential test case; the integration test and the
+// fuzz harness both drive it.
+package differential
+
+import (
+	"fmt"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+)
+
+// Report summarizes one differential run.
+type Report struct {
+	// PlacementCosts maps solver name to C_a.
+	PlacementCosts map[string]float64
+	// MigrationCosts maps migrator name to C_t.
+	MigrationCosts map[string]float64
+	// OptimalProven reports whether the exhaustive searches completed.
+	OptimalProven bool
+}
+
+// Options tunes the run.
+type Options struct {
+	// NodeBudget caps the exhaustive searches (0 = unlimited — small
+	// scenarios only).
+	NodeBudget int
+	// Mu is the migration coefficient for the TOM half.
+	Mu float64
+}
+
+const tol = 1e-6
+
+// Run executes the full cross-check. w1 drives placement; w2 (the
+// shifted rates) drives migration. It returns an error naming the first
+// violated invariant.
+func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Report, error) {
+	rep := &Report{
+		PlacementCosts: map[string]float64{},
+		MigrationCosts: map[string]float64{},
+		OptimalProven:  true,
+	}
+
+	// --- TOP ---------------------------------------------------------
+	solvers := []placement.Solver{
+		placement.DP{},
+		placement.Steering{},
+		placement.Greedy{},
+		placement.Anneal{Iterations: 3000},
+	}
+	for _, s := range solvers {
+		p, c, err := s.Place(d, w1, sfc)
+		if err != nil {
+			return nil, fmt.Errorf("differential: %s: %w", s.Name(), err)
+		}
+		if err := p.Validate(d, sfc); err != nil {
+			return nil, fmt.Errorf("differential: %s placement invalid: %w", s.Name(), err)
+		}
+		if got := d.CommCost(w1, p); got > c+tol || got < c-tol {
+			return nil, fmt.Errorf("differential: %s reported %v but evaluates to %v", s.Name(), c, got)
+		}
+		rep.PlacementCosts[s.Name()] = c
+	}
+	opt := placement.Optimal{NodeBudget: opts.NodeBudget, Seed: placement.DP{}}
+	pOpt, cOpt, proven, err := opt.PlaceProven(d, w1, sfc)
+	if err != nil {
+		return nil, fmt.Errorf("differential: Optimal: %w", err)
+	}
+	if err := pOpt.Validate(d, sfc); err != nil {
+		return nil, fmt.Errorf("differential: Optimal placement invalid: %w", err)
+	}
+	rep.PlacementCosts["Optimal"] = cOpt
+	rep.OptimalProven = proven
+	for name, c := range rep.PlacementCosts {
+		if c < cOpt-tol {
+			return nil, fmt.Errorf("differential: %s cost %v below Optimal %v", name, c, cOpt)
+		}
+	}
+	if rep.PlacementCosts["Anneal"] > rep.PlacementCosts["DP"]+tol {
+		return nil, fmt.Errorf("differential: Anneal %v worse than its DP seed %v",
+			rep.PlacementCosts["Anneal"], rep.PlacementCosts["DP"])
+	}
+
+	// --- TOM ---------------------------------------------------------
+	pInit, _, err := (placement.DP{}).Place(d, w1, sfc)
+	if err != nil {
+		return nil, err
+	}
+	stay := d.CommCost(w2, pInit)
+	migs := []migration.Migrator{
+		migration.MPareto{},
+		migration.LayeredDP{},
+		migration.OptimalSurrogate(),
+		migration.NoMigration{},
+		migration.Triggered{Inner: migration.MPareto{}, Hysteresis: 1},
+	}
+	for _, mg := range migs {
+		m, ct, err := mg.Migrate(d, w2, sfc, pInit, opts.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("differential: %s: %w", mg.Name(), err)
+		}
+		if err := m.Validate(d, sfc); err != nil {
+			return nil, fmt.Errorf("differential: %s target invalid: %w", mg.Name(), err)
+		}
+		if got := d.TotalCost(w2, pInit, m, opts.Mu); got > ct+tol || got < ct-tol {
+			return nil, fmt.Errorf("differential: %s reported C_t %v but evaluates to %v", mg.Name(), ct, got)
+		}
+		if ct > stay+tol && mg.Name() != "NoMigration" {
+			return nil, fmt.Errorf("differential: %s C_t %v worse than staying %v", mg.Name(), ct, stay)
+		}
+		rep.MigrationCosts[mg.Name()] = ct
+	}
+	mOpt := migration.Exhaustive{NodeBudget: opts.NodeBudget, Seed: migration.MPareto{}}
+	_, ctOpt, provenM, err := mOpt.MigrateProven(d, w2, sfc, pInit, opts.Mu)
+	if err != nil {
+		return nil, fmt.Errorf("differential: migration Optimal: %w", err)
+	}
+	rep.MigrationCosts["Optimal"] = ctOpt
+	rep.OptimalProven = rep.OptimalProven && provenM
+	for name, ct := range rep.MigrationCosts {
+		if ct < ctOpt-tol {
+			return nil, fmt.Errorf("differential: %s C_t %v below Optimal %v", name, ct, ctOpt)
+		}
+	}
+	// LayeredDP's unconstrained value lower-bounds the optimum.
+	if _, bound, err := (migration.LayeredDP{}).MigrateBound(d, w2, sfc, pInit, opts.Mu); err == nil {
+		if provenM && bound > ctOpt+tol {
+			return nil, fmt.Errorf("differential: LayeredDP bound %v above proven optimum %v", bound, ctOpt)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,37 @@
+package differential
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// FuzzDifferential drives the full cross-solver invariant web from fuzzed
+// scenario parameters. Any counterexample it finds is a genuine
+// correctness bug in one of the solvers (not a flaky tolerance): the
+// invariants are all ≤/≥ relations against proven optima or stay-put
+// references. Run with `go test -fuzz=FuzzDifferential
+// ./internal/differential`.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(3), uint16(500), false)
+	f.Add(int64(9), uint8(20), uint8(2), uint16(0), true)
+	f.Add(int64(-4), uint8(6), uint8(4), uint16(3000), false)
+	f.Fuzz(func(t *testing.T, seed int64, lRaw, nRaw uint8, muRaw uint16, capacity2 bool) {
+		rng := rand.New(rand.NewSource(seed))
+		opts := model.Options{}
+		if capacity2 {
+			opts.SwitchCapacity = 2
+		}
+		d := model.MustNew(topology.MustFatTree(4, nil), opts)
+		l := 2 + int(lRaw)%20
+		n := 2 + int(nRaw)%3
+		w1 := workload.MustPairsClustered(d.Topo, l, 2+int(lRaw)%4, workload.DefaultIntraRack, rng)
+		w2 := w1.WithRates(workload.Rates(len(w1), rng))
+		if _, err := Run(d, w1, w2, model.NewSFC(n), Options{Mu: float64(muRaw), NodeBudget: 150_000}); err != nil {
+			t.Fatalf("seed=%d l=%d n=%d mu=%d cap2=%v: %v", seed, l, n, muRaw, capacity2, err)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "math"
+
+// APSP holds an all-pairs shortest path matrix with predecessor links for
+// path reconstruction. It is the c(u,v) oracle of the paper's cost model:
+// every communication and migration cost is a λ- or μ-weighted APSP lookup.
+type APSP struct {
+	n    int
+	dist []float64 // row-major n*n
+	prev []int32   // prev[u*n+v]: predecessor of v on the shortest u->v path
+}
+
+// AllPairs runs Dijkstra from every vertex and caches the results.
+// Complexity O(|V| * |E| log |V|); a k=16 fat tree (1344 vertices) computes
+// in well under a second.
+func AllPairs(g *Graph) *APSP {
+	n := g.Order()
+	a := &APSP{
+		n:    n,
+		dist: make([]float64, n*n),
+		prev: make([]int32, n*n),
+	}
+	for src := 0; src < n; src++ {
+		dist, prev := g.Dijkstra(src)
+		copy(a.dist[src*n:(src+1)*n], dist)
+		row := a.prev[src*n : (src+1)*n]
+		for v, p := range prev {
+			row[v] = int32(p)
+		}
+	}
+	return a
+}
+
+// Order returns the number of vertices covered by the matrix.
+func (a *APSP) Order() int { return a.n }
+
+// Cost returns the shortest-path cost c(u,v); Inf if unreachable.
+func (a *APSP) Cost(u, v int) float64 { return a.dist[u*a.n+v] }
+
+// Reachable reports whether v is reachable from u.
+func (a *APSP) Reachable(u, v int) bool { return !math.IsInf(a.dist[u*a.n+v], 1) }
+
+// Path reconstructs a shortest u-v vertex sequence (inclusive). It returns
+// nil when v is unreachable from u.
+func (a *APSP) Path(u, v int) []int {
+	if math.IsInf(a.dist[u*a.n+v], 1) {
+		return nil
+	}
+	var rev []int
+	row := a.prev[u*a.n : (u+1)*a.n]
+	for x := v; x != -1; x = int(row[x]) {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Hops returns the number of edges on the reconstructed shortest u-v path
+// (0 for u==v, -1 if unreachable). Note this counts edges of the cached
+// min-cost path, not the min-hop path.
+func (a *APSP) Hops(u, v int) int {
+	p := a.Path(u, v)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// Diameter returns the greatest finite pairwise cost, i.e. the diameter D
+// used in the paper's complexity bound for Algo. 5.
+func (a *APSP) Diameter() float64 {
+	d := 0.0
+	for _, c := range a.dist {
+		if !math.IsInf(c, 1) && c > d {
+			d = c
+		}
+	}
+	return d
+}
+
+// MetricClosure builds the complete graph G” of paper Algo. 2: vertices
+// keep map to the subset `keep` of the original graph's vertices, and every
+// pair is joined by an edge of weight c(u,v). The returned index slice maps
+// closure vertex i to original vertex keep[i].
+//
+// The triangle inequality holds by construction, which the stroll DP relies
+// on ("using G” overcomes an obstacle otherwise faced by using G").
+func (a *APSP) MetricClosure(keep []int) (*Graph, []int) {
+	idx := append([]int(nil), keep...)
+	h := New(len(idx))
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			c := a.Cost(idx[i], idx[j])
+			if !math.IsInf(c, 1) {
+				h.AddEdge(i, j, c)
+			}
+		}
+	}
+	return h, idx
+}
+
+// CostMatrix exposes a dense submatrix of shortest-path costs over the
+// given vertices: out[i][j] = c(keep[i], keep[j]). Solvers that index the
+// closure heavily use this rather than adjacency lists.
+func (a *APSP) CostMatrix(keep []int) [][]float64 {
+	out := make([][]float64, len(keep))
+	for i, u := range keep {
+		row := make([]float64, len(keep))
+		for j, v := range keep {
+			row[j] = a.Cost(u, v)
+		}
+		out[i] = row
+	}
+	return out
+}

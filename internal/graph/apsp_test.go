@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAPSPMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedGraph(rng, 24, 24)
+	a := AllPairs(g)
+	if a.Order() != 24 {
+		t.Fatalf("order = %d", a.Order())
+	}
+	for u := 0; u < g.Order(); u++ {
+		dist, _ := g.Dijkstra(u)
+		for v := 0; v < g.Order(); v++ {
+			if math.Abs(a.Cost(u, v)-dist[v]) > 1e-9 {
+				t.Fatalf("APSP(%d,%d)=%v dijkstra=%v", u, v, a.Cost(u, v), dist[v])
+			}
+		}
+	}
+}
+
+func TestAPSPPathReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnectedGraph(rng, 20, 20)
+	a := AllPairs(g)
+	for u := 0; u < g.Order(); u++ {
+		for v := 0; v < g.Order(); v++ {
+			p := a.Path(u, v)
+			if p == nil {
+				t.Fatalf("nil path %d->%d in connected graph", u, v)
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("path endpoints %v for %d->%d", p, u, v)
+			}
+			sum := 0.0
+			for i := 0; i+1 < len(p); i++ {
+				w := g.EdgeWeight(p[i], p[i+1])
+				if math.IsInf(w, 1) {
+					t.Fatalf("path %v uses non-edge (%d,%d)", p, p[i], p[i+1])
+				}
+				sum += w
+			}
+			if math.Abs(sum-a.Cost(u, v)) > 1e-9 {
+				t.Fatalf("path cost %v != matrix cost %v", sum, a.Cost(u, v))
+			}
+		}
+	}
+}
+
+func TestAPSPUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	a := AllPairs(g)
+	if a.Reachable(0, 2) {
+		t.Fatal("2 should be unreachable")
+	}
+	if a.Path(0, 2) != nil {
+		t.Fatal("path to unreachable should be nil")
+	}
+	if a.Hops(0, 2) != -1 {
+		t.Fatal("hops to unreachable should be -1")
+	}
+	if !a.Reachable(0, 1) || a.Hops(0, 1) != 1 || a.Hops(1, 1) != 0 {
+		t.Fatal("reachability bookkeeping wrong")
+	}
+}
+
+func TestAPSPDiameterLine(t *testing.T) {
+	a := AllPairs(line(6))
+	if d := a.Diameter(); d != 5 {
+		t.Fatalf("diameter = %v, want 5", d)
+	}
+}
+
+func TestAPSPDiameterIgnoresUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	// 2,3 isolated
+	a := AllPairs(g)
+	if d := a.Diameter(); d != 2 {
+		t.Fatalf("diameter = %v, want 2", d)
+	}
+}
+
+func TestMetricClosureTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(16)
+		g := randomConnectedGraph(r, n, n)
+		a := AllPairs(g)
+		keep := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if r.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) < 3 {
+			return true
+		}
+		h, _ := a.MetricClosure(keep)
+		// Check triangle inequality on the closure for random triples.
+		for trial := 0; trial < 20; trial++ {
+			i, j, k := rng.Intn(len(keep)), rng.Intn(len(keep)), rng.Intn(len(keep))
+			if i == j || j == k || i == k {
+				continue
+			}
+			if h.EdgeWeight(i, k) > h.EdgeWeight(i, j)+h.EdgeWeight(j, k)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricClosureIsComplete(t *testing.T) {
+	g := line(6)
+	a := AllPairs(g)
+	keep := []int{0, 2, 5}
+	h, idx := a.MetricClosure(keep)
+	if h.Order() != 3 {
+		t.Fatalf("order = %d", h.Order())
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if !h.HasEdge(i, j) {
+				t.Fatalf("closure missing edge (%d,%d)", i, j)
+			}
+		}
+	}
+	if h.EdgeWeight(0, 2) != 5 { // dist(0,5) on the line
+		t.Fatalf("closure weight = %v, want 5", h.EdgeWeight(0, 2))
+	}
+	if idx[0] != 0 || idx[1] != 2 || idx[2] != 5 {
+		t.Fatalf("index map = %v", idx)
+	}
+}
+
+func TestCostMatrix(t *testing.T) {
+	g := line(5)
+	a := AllPairs(g)
+	m := a.CostMatrix([]int{0, 4, 2})
+	if m[0][1] != 4 || m[1][0] != 4 || m[0][2] != 2 || m[2][1] != 2 || m[1][1] != 0 {
+		t.Fatalf("cost matrix = %v", m)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "", []string{"h1", "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", `0 [label="h1"]`, `1 [label="s1"]`, `0 -- 1 [label="3"]`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, extra int) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	return randomConnectedGraph(rng, n, extra)
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(1000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % g.Order())
+	}
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	g := benchGraph(300, 900)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairs(g)
+	}
+}
+
+func BenchmarkMetricClosure(b *testing.B) {
+	g := benchGraph(300, 900)
+	a := AllPairs(g)
+	keep := make([]int, 150)
+	for i := range keep {
+		keep[i] = i * 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MetricClosure(keep)
+	}
+}
+
+func BenchmarkCostMatrix(b *testing.B) {
+	g := benchGraph(300, 900)
+	a := AllPairs(g)
+	keep := make([]int, 150)
+	for i := range keep {
+		keep[i] = i * 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.CostMatrix(keep)
+	}
+}

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. labels may be nil, in
+// which case vertex IDs are used; otherwise labels[v] names vertex v.
+func (g *Graph) WriteDOT(w io.Writer, name string, labels []string) error {
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for v := 0; v < g.Order(); v++ {
+		if labels != nil && v < len(labels) && labels[v] != "" {
+			fmt.Fprintf(&b, "  %d [label=%q];\n", v, labels[v])
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d [label=\"%g\"];\n", e.U, e.V, e.Weight)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,53 @@
+package graph
+
+// heapItem is a (vertex, tentative cost) pair in the Dijkstra priority queue.
+type heapItem struct {
+	v    int
+	cost float64
+}
+
+// costHeap is a hand-rolled binary min-heap on cost. It avoids the
+// interface boxing of container/heap on the hottest path in the library
+// (all-pairs shortest paths over fat-tree PPDCs).
+type costHeap struct {
+	items []heapItem
+}
+
+func (h *costHeap) Len() int { return len(h.items) }
+
+func (h *costHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].cost <= h.items[i].cost {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *costHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].cost < h.items[smallest].cost {
+			smallest = l
+		}
+		if r < last && h.items[r].cost < h.items[smallest].cost {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,274 @@
+// Package ilp encodes the paper's primal integer linear program of TOP-1
+// (Section IV, Eqs. 2–7) as executable, checkable code:
+//
+//	min  λ₁ · Σ_e c_e y_e                                  (2)
+//	s.t. x_v ∈ {0,1}  ∀v ∈ V_s                             (3)
+//	     y_e ∈ {0,1}  ∀e ∈ E                               (4)
+//	     Σ_{e∈δ(U)} y_e ≥ 1      ∀U: t ∈ U, s ∉ U          (5)
+//	     Σ_{e∈δ(S)} y_e ≥ 2·x_v  ∀S ⊆ V_s, ∀v ∈ S          (6)
+//	     Σ_v x_v ≥ n                                       (7)
+//
+// Feasibility checking enumerates the cut constraints literally (the
+// instance graphs here are tiny), and SolveBruteForce enumerates edge
+// subsets — a ground-truth oracle for the primal-dual Algorithm 1's
+// formulation.
+//
+// The package also demonstrates the paper's "Discussions" caveat in code:
+// because every edge's weight is counted once, the ILP implicitly requires
+// the stroll to be a *path*, so on instances whose optimal stroll is a
+// walk (the paper's Fig. 4) the ILP optimum is strictly worse than the
+// true n-stroll optimum (tested).
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"vnfopt/internal/graph"
+	"vnfopt/internal/model"
+)
+
+// FromPPDC builds the TOP-1 ILP over the paper's induced graph G'
+// (Theorem 1): the flow's two hosts plus every switch, keeping only the
+// original PPDC edges among them. Instance vertices are renumbered
+// densely; the second return value maps them back to PPDC vertices.
+func FromPPDC(d *model.PPDC, f model.VMPair, n int) (*TOP1, []int, error) {
+	if d == nil {
+		return nil, nil, fmt.Errorf("ilp: nil PPDC")
+	}
+	if f.Src == f.Dst {
+		return nil, nil, fmt.Errorf("ilp: the Eq. 2-7 formulation needs distinct terminals (tours are walks)")
+	}
+	keep := make([]int, 0, 2+len(d.Topo.Switches))
+	keep = append(keep, f.Src, f.Dst)
+	keep = append(keep, d.Topo.Switches...)
+	index := make(map[int]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	g := graph.New(len(keep))
+	for _, e := range d.Topo.Graph.Edges() {
+		iu, okU := index[e.U]
+		iv, okV := index[e.V]
+		if okU && okV {
+			g.AddEdge(iu, iv, e.Weight)
+		}
+	}
+	switches := make([]int, 0, len(d.Topo.Switches))
+	for i := 2; i < len(keep); i++ {
+		switches = append(switches, i)
+	}
+	p := &TOP1{G: g, S: 0, T: 1, N: n, Lambda: f.Rate, Switches: switches}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return p, keep, nil
+}
+
+// TOP1 is one TOP-1 ILP instance over the induced graph
+// G'(V' = V_s ∪ {s, t}, E').
+type TOP1 struct {
+	// G is the induced graph G' with original (not closure) edges.
+	G *graph.Graph
+	// S and T are the source and destination host vertices.
+	S, T int
+	// N is the number of VNFs to place.
+	N int
+	// Lambda is the flow's traffic rate λ₁.
+	Lambda float64
+	// Switches lists the V_s vertices (every other vertex of G is S/T).
+	Switches []int
+}
+
+// Validate checks instance sanity and that exhaustive enumeration is
+// affordable (the ILP oracle is a small-instance ground truth by design).
+func (p *TOP1) Validate() error {
+	if p.G == nil {
+		return fmt.Errorf("ilp: nil graph")
+	}
+	nv := p.G.Order()
+	if p.S < 0 || p.S >= nv || p.T < 0 || p.T >= nv || p.S == p.T {
+		return fmt.Errorf("ilp: bad terminals (%d,%d)", p.S, p.T)
+	}
+	if p.N < 0 || p.N > len(p.Switches) {
+		return fmt.Errorf("ilp: n=%d outside [0,%d]", p.N, len(p.Switches))
+	}
+	if p.Lambda < 0 {
+		return fmt.Errorf("ilp: negative λ %v", p.Lambda)
+	}
+	for _, v := range p.Switches {
+		if v == p.S || v == p.T {
+			return fmt.Errorf("ilp: terminal %d listed as switch", v)
+		}
+	}
+	if p.G.Size() > 22 {
+		return fmt.Errorf("ilp: %d edges exceed the brute-force oracle's budget (22)", p.G.Size())
+	}
+	return nil
+}
+
+// Assignment is one 0-1 setting of the decision variables.
+type Assignment struct {
+	// X[v] is x_v for switch vertices.
+	X map[int]bool
+	// Y[i] is y_e for edge index i into G.Edges().
+	Y map[int]bool
+}
+
+// Objective evaluates Eq. 2.
+func (p *TOP1) Objective(a Assignment) float64 {
+	edges := p.G.Edges()
+	sum := 0.0
+	for i, on := range a.Y {
+		if on {
+			sum += edges[i].Weight
+		}
+	}
+	return p.Lambda * sum
+}
+
+// selectedCut counts selected edges with exactly one endpoint in the
+// member set.
+func selectedCut(edges []graph.EdgeRecord, y map[int]bool, member map[int]bool) int {
+	c := 0
+	for i, e := range edges {
+		if y[i] && member[e.U] != member[e.V] {
+			c++
+		}
+	}
+	return c
+}
+
+// Feasible checks constraints 5–7 by literal cut enumeration. It returns
+// nil when the assignment satisfies the ILP.
+func (p *TOP1) Feasible(a Assignment) error {
+	edges := p.G.Edges()
+	nv := p.G.Order()
+	all := make([]int, nv)
+	for i := range all {
+		all[i] = i
+	}
+
+	// Constraint 7.
+	count := 0
+	for _, v := range p.Switches {
+		if a.X[v] {
+			count++
+		}
+	}
+	if count < p.N {
+		return fmt.Errorf("ilp: constraint 7 violated: %d selected switches < n=%d", count, p.N)
+	}
+
+	// Constraint 5: every U containing t but not s crosses ≥ 1 selected
+	// edge. Enumerate subsets of V \ {s,t} joined with {t}.
+	others := make([]int, 0, nv-2)
+	for v := 0; v < nv; v++ {
+		if v != p.S && v != p.T {
+			others = append(others, v)
+		}
+	}
+	for mask := 0; mask < 1<<len(others); mask++ {
+		member := map[int]bool{p.T: true}
+		for b, v := range others {
+			if mask&(1<<b) != 0 {
+				member[v] = true
+			}
+		}
+		if selectedCut(edges, a.Y, member) < 1 {
+			return fmt.Errorf("ilp: constraint 5 violated for a cut of size %d", len(member))
+		}
+	}
+
+	// Constraint 6: every S ⊆ V_s and v ∈ S with x_v = 1 needs ≥ 2
+	// selected crossing edges.
+	for mask := 1; mask < 1<<len(p.Switches); mask++ {
+		member := map[int]bool{}
+		hasSelected := false
+		for b, v := range p.Switches {
+			if mask&(1<<b) != 0 {
+				member[v] = true
+				if a.X[v] {
+					hasSelected = true
+				}
+			}
+		}
+		if !hasSelected {
+			continue
+		}
+		if selectedCut(edges, a.Y, member) < 2 {
+			return fmt.Errorf("ilp: constraint 6 violated for a switch set of size %d", len(member))
+		}
+	}
+	return nil
+}
+
+// maxEligibleX returns the maximal x consistent with constraint 6 for a
+// fixed y: x_v can be 1 only if every V_s-subset containing v crosses ≥ 2
+// selected edges. For minimization only y carries cost, so maximal x is
+// the right completion.
+func (p *TOP1) maxEligibleX(y map[int]bool) map[int]bool {
+	edges := p.G.Edges()
+	x := map[int]bool{}
+	for _, v := range p.Switches {
+		eligible := true
+		// v is eligible iff min over subsets S ∋ v of the selected cut is
+		// ≥ 2. Enumerate subsets of V_s containing v.
+		rest := make([]int, 0, len(p.Switches)-1)
+		for _, u := range p.Switches {
+			if u != v {
+				rest = append(rest, u)
+			}
+		}
+		for mask := 0; mask < 1<<len(rest) && eligible; mask++ {
+			member := map[int]bool{v: true}
+			for b, u := range rest {
+				if mask&(1<<b) != 0 {
+					member[u] = true
+				}
+			}
+			if selectedCut(edges, y, member) < 2 {
+				eligible = false
+			}
+		}
+		if eligible {
+			x[v] = true
+		}
+	}
+	return x
+}
+
+// SolveBruteForce enumerates all edge subsets and returns the optimal
+// feasible assignment, or an error when the instance is infeasible.
+func (p *TOP1) SolveBruteForce() (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, 0, err
+	}
+	edges := p.G.Edges()
+	best := Assignment{}
+	bestCost := math.Inf(1)
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		y := map[int]bool{}
+		cost := 0.0
+		for i := range edges {
+			if mask&(1<<i) != 0 {
+				y[i] = true
+				cost += edges[i].Weight
+			}
+		}
+		cost *= p.Lambda
+		if cost >= bestCost {
+			continue
+		}
+		a := Assignment{X: p.maxEligibleX(y), Y: y}
+		if err := p.Feasible(a); err != nil {
+			continue
+		}
+		best = a
+		bestCost = cost
+	}
+	if math.IsInf(bestCost, 1) {
+		return Assignment{}, 0, fmt.Errorf("ilp: infeasible instance")
+	}
+	return best, bestCost, nil
+}

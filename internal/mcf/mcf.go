@@ -1,0 +1,265 @@
+// Package mcf implements a successive-shortest-path min-cost max-flow
+// solver with Johnson potentials. It is the substrate behind the paper's
+// MCF comparison baseline (Flores et al. [24]), which casts joint VM
+// migration-and-communication cost minimization as a minimum cost flow
+// problem.
+//
+// The solver handles non-negative edge costs directly and negative costs
+// via a Bellman-Ford potential initialization, after which each augmenting
+// iteration runs Dijkstra on reduced costs.
+package mcf
+
+import (
+	"fmt"
+	"math"
+)
+
+// arc is one directed arc of the residual network. Arcs are stored in
+// pairs: arc 2i is the forward arc, 2i+1 its residual reverse.
+type arc struct {
+	to   int
+	cap  float64
+	cost float64
+}
+
+// Network is a directed flow network under construction.
+type Network struct {
+	n    int
+	arcs []arc
+	head [][]int // head[v] lists arc indices leaving v
+}
+
+// NewNetwork returns a network with n vertices and no arcs.
+func NewNetwork(n int) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("mcf: invalid vertex count %d", n))
+	}
+	return &Network{n: n, head: make([][]int, n)}
+}
+
+// Order returns the number of vertices.
+func (nw *Network) Order() int { return nw.n }
+
+// AddArc inserts a directed arc u→v with the given capacity and per-unit
+// cost, returning its ID for later flow inspection. Capacity must be
+// non-negative; cost may be negative.
+func (nw *Network) AddArc(u, v int, capacity, cost float64) int {
+	if u < 0 || v < 0 || u >= nw.n || v >= nw.n {
+		panic(fmt.Sprintf("mcf: arc (%d,%d) out of range [0,%d)", u, v, nw.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsNaN(cost) {
+		panic(fmt.Sprintf("mcf: invalid arc capacity=%v cost=%v", capacity, cost))
+	}
+	id := len(nw.arcs)
+	nw.arcs = append(nw.arcs, arc{to: v, cap: capacity, cost: cost})
+	nw.arcs = append(nw.arcs, arc{to: u, cap: 0, cost: -cost})
+	nw.head[u] = append(nw.head[u], id)
+	nw.head[v] = append(nw.head[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed through arc id (forward arcs
+// only), i.e. the residual capacity of its reverse arc.
+func (nw *Network) Flow(id int) float64 {
+	if id < 0 || id >= len(nw.arcs) || id%2 != 0 {
+		panic(fmt.Sprintf("mcf: invalid forward arc id %d", id))
+	}
+	return nw.arcs[id^1].cap
+}
+
+// Result summarizes a min-cost flow computation.
+type Result struct {
+	// Flow is the total flow shipped from source to sink.
+	Flow float64
+	// Cost is the total cost of that flow.
+	Cost float64
+}
+
+// MinCostFlow ships up to maxFlow units from s to t at minimum total cost
+// and returns the amount shipped and its cost. Pass math.Inf(1) as maxFlow
+// for min-cost max-flow. The network's residual state is consumed: call on
+// a freshly built network.
+func (nw *Network) MinCostFlow(s, t int, maxFlow float64) (Result, error) {
+	if s < 0 || t < 0 || s >= nw.n || t >= nw.n {
+		return Result{}, fmt.Errorf("mcf: terminals (%d,%d) out of range", s, t)
+	}
+	if s == t {
+		return Result{}, fmt.Errorf("mcf: source equals sink %d", s)
+	}
+
+	pot := make([]float64, nw.n)
+	if nw.hasNegativeCost() {
+		if ok := nw.bellmanFordPotentials(s, pot); !ok {
+			return Result{}, fmt.Errorf("mcf: negative-cost cycle detected")
+		}
+	}
+
+	var res Result
+	dist := make([]float64, nw.n)
+	prevArc := make([]int, nw.n)
+	// Each augmentation saturates at least one arc on a shortest path, and
+	// float rounding cannot manufacture new capacity, so iterations are
+	// bounded; the cap below is a defensive backstop against accounting
+	// bugs turning into hangs.
+	maxAug := 4*len(nw.arcs) + 64
+	for aug := 0; res.Flow < maxFlow; aug++ {
+		if aug > maxAug {
+			return res, fmt.Errorf("mcf: augmentation limit %d exceeded (degenerate instance)", maxAug)
+		}
+		// Dijkstra on reduced costs. Potentials keep reduced costs
+		// non-negative in exact arithmetic; float residue can leave
+		// values like -1e-12, which would let Dijkstra chase phantom
+		// negative cycles forever — clamp at zero.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		pq := &pairHeap{}
+		pq.push(pair{v: s, d: 0})
+		for pq.Len() > 0 {
+			it := pq.pop()
+			if it.d > dist[it.v] {
+				continue
+			}
+			for _, id := range nw.head[it.v] {
+				a := nw.arcs[id]
+				if a.cap <= 1e-12 {
+					continue
+				}
+				rc := a.cost + pot[it.v] - pot[a.to]
+				if rc < 0 {
+					rc = 0
+				}
+				if nd := it.d + rc; nd < dist[a.to] {
+					dist[a.to] = nd
+					prevArc[a.to] = id
+					pq.push(pair{v: a.to, d: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path
+		}
+		for v := 0; v < nw.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - res.Flow
+		for v := t; v != s; {
+			a := nw.arcs[prevArc[v]]
+			if a.cap < push {
+				push = a.cap
+			}
+			v = nw.arcs[prevArc[v]^1].to
+		}
+		for v := t; v != s; {
+			id := prevArc[v]
+			nw.arcs[id].cap -= push
+			nw.arcs[id^1].cap += push
+			res.Cost += push * nw.arcs[id].cost
+			v = nw.arcs[id^1].to
+		}
+		res.Flow += push
+	}
+	return res, nil
+}
+
+func (nw *Network) hasNegativeCost() bool {
+	for i := 0; i < len(nw.arcs); i += 2 {
+		if nw.arcs[i].cost < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bellmanFordPotentials initializes potentials as shortest distances from s
+// over arcs with positive capacity; returns false on a negative cycle
+// reachable from s.
+func (nw *Network) bellmanFordPotentials(s int, pot []float64) bool {
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < nw.n; iter++ {
+		changed := false
+		for u := 0; u < nw.n; u++ {
+			if math.IsInf(pot[u], 1) {
+				continue
+			}
+			for _, id := range nw.head[u] {
+				a := nw.arcs[id]
+				if a.cap <= 1e-12 {
+					continue
+				}
+				if nd := pot[u] + a.cost; nd < pot[a.to]-1e-12 {
+					pot[a.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == nw.n-1 {
+			return false
+		}
+	}
+	// Unreached vertices keep potential 0 so reduced costs stay finite.
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0
+		}
+	}
+	return true
+}
+
+// pair and pairHeap form a tiny binary min-heap for the Dijkstra stage.
+type pair struct {
+	v int
+	d float64
+}
+
+type pairHeap struct{ items []pair }
+
+func (h *pairHeap) Len() int { return len(h.items) }
+
+func (h *pairHeap) push(p pair) {
+	h.items = append(h.items, p)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() pair {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.items[l].d < h.items[m].d {
+			m = l
+		}
+		if r < last && h.items[r].d < h.items[m].d {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,239 @@
+package mcf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	// s(0) -> 1 -> t(2), capacity 5, costs 1+2.
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 5, 1)
+	nw.AddArc(1, 2, 5, 2)
+	res, err := nw.MinCostFlow(0, 2, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 || res.Cost != 15 {
+		t.Fatalf("res = %+v, want flow 5 cost 15", res)
+	}
+}
+
+func TestPrefersCheaperPath(t *testing.T) {
+	// Two parallel s-t paths: cost 10 (cap 4) and cost 1 (cap 3).
+	nw := NewNetwork(4)
+	expensive := nw.AddArc(0, 1, 4, 10)
+	nw.AddArc(1, 3, 4, 0)
+	cheap := nw.AddArc(0, 2, 3, 1)
+	nw.AddArc(2, 3, 3, 0)
+	res, err := nw.MinCostFlow(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("flow = %v, want 5", res.Flow)
+	}
+	// 3 units via cheap (cost 3) + 2 via expensive (cost 20).
+	if res.Cost != 23 {
+		t.Fatalf("cost = %v, want 23", res.Cost)
+	}
+	if f := nw.Flow(cheap); f != 3 {
+		t.Fatalf("cheap arc flow = %v, want 3", f)
+	}
+	if f := nw.Flow(expensive); f != 2 {
+		t.Fatalf("expensive arc flow = %v, want 2", f)
+	}
+}
+
+func TestMaxFlowLimited(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 100, 1)
+	res, err := nw.MinCostFlow(0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 7 || res.Cost != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 5, 1)
+	res, err := nw.MinCostFlow(0, 2, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 0 || res.Cost != 0 {
+		t.Fatalf("res = %+v, want zero", res)
+	}
+}
+
+func TestNegativeCostArc(t *testing.T) {
+	// Path with a negative arc: 0 -> 1 (cost -5) -> 2 (cost 2).
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 3, -5)
+	nw.AddArc(1, 2, 3, 2)
+	res, err := nw.MinCostFlow(0, 2, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 3 || res.Cost != -9 {
+		t.Fatalf("res = %+v, want flow 3 cost -9", res)
+	}
+}
+
+func TestResidualRerouting(t *testing.T) {
+	// Classic case where the second augmentation must push flow back
+	// through a residual arc.
+	//   0->1 cap1 cost1, 0->2 cap1 cost2, 1->2 cap1 cost1,
+	//   1->3 cap1 cost3, 2->3 cap1 cost1
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 1, 1)
+	nw.AddArc(0, 2, 1, 2)
+	nw.AddArc(1, 2, 1, 1)
+	nw.AddArc(1, 3, 1, 3)
+	nw.AddArc(2, 3, 1, 1)
+	res, err := nw.MinCostFlow(0, 3, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 {
+		t.Fatalf("flow = %v, want 2", res.Flow)
+	}
+	// Optimal: 0-1-2-3 (3) and 0-2? cap conflict; min cost max flow = 3+? ->
+	// paths 0-1-2-3 (cost 3) + 0-2-3 blocked (2-3 full) => 0-1-3? 1 full.
+	// Best pair: 0-1-3 (4) + 0-2-3 (3) = 7, or 0-1-2-3 (3) + 0-2 ->(2,3 full)
+	// residual reroute: 0-2 (2), push 2->... net optimum is 7.
+	if res.Cost != 7 {
+		t.Fatalf("cost = %v, want 7", res.Cost)
+	}
+}
+
+func TestAssignmentProblem(t *testing.T) {
+	// 3x3 assignment via MCF must find the optimal matching.
+	// Cost matrix rows=workers (1..3), cols=jobs (4..6):
+	//   [4 1 3]
+	//   [2 0 5]
+	//   [3 2 2]
+	// Optimal assignment cost = 1 + 2 + 2 = 5.
+	cost := [3][3]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}
+	nw := NewNetwork(8) // 0=s, 1..3 workers, 4..6 jobs, 7=t
+	for i := 0; i < 3; i++ {
+		nw.AddArc(0, 1+i, 1, 0)
+		nw.AddArc(4+i, 7, 1, 0)
+	}
+	ids := [3][3]int{}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			ids[i][j] = nw.AddArc(1+i, 4+j, 1, cost[i][j])
+		}
+	}
+	res, err := nw.MinCostFlow(0, 7, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 3 || res.Cost != 5 {
+		t.Fatalf("res = %+v, want flow 3 cost 5", res)
+	}
+	// Extract assignment: worker 0 -> job 1, 1 -> job 0, 2 -> job 2.
+	want := [3]int{1, 0, 2}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			f := nw.Flow(ids[i][j])
+			if (f == 1) != (want[i] == j) {
+				t.Fatalf("assignment arc (%d,%d) flow %v", i, j, f)
+			}
+		}
+	}
+}
+
+func TestMinCostFlowMatchesBruteForceAssignment(t *testing.T) {
+	// Random small assignment instances cross-checked against brute-force
+	// permutation search.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		nw := NewNetwork(2 + 2*n)
+		s, tk := 0, 1+2*n
+		ids := make([][]int, n)
+		for i := 0; i < n; i++ {
+			nw.AddArc(s, 1+i, 1, 0)
+			nw.AddArc(1+n+i, tk, 1, 0)
+			ids[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				ids[i][j] = nw.AddArc(1+i, 1+n+j, 1, cost[i][j])
+			}
+		}
+		res, err := nw.MinCostFlow(s, tk, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(i int, cur float64, used []bool, asg []int)
+		rec = func(i int, cur float64, used []bool, asg []int) {
+			if i == n {
+				if cur < best {
+					best = cur
+				}
+				return
+			}
+			for j := 0; j < n; j++ {
+				if !used[j] {
+					used[j] = true
+					rec(i+1, cur+cost[i][j], used, asg)
+					used[j] = false
+				}
+			}
+		}
+		rec(0, 0, make([]bool, n), make([]int, n))
+		if math.Abs(res.Cost-best) > 1e-9 || res.Flow != float64(n) {
+			t.Fatalf("trial %d: mcf cost %v flow %v, brute force %v", trial, res.Cost, res.Flow, best)
+		}
+	}
+}
+
+func TestErrorsAndPanics(t *testing.T) {
+	nw := NewNetwork(3)
+	if _, err := nw.MinCostFlow(0, 0, 1); err == nil {
+		t.Fatal("s==t accepted")
+	}
+	if _, err := nw.MinCostFlow(-1, 2, 1); err == nil {
+		t.Fatal("bad terminal accepted")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad vertex count", func() { NewNetwork(0) })
+	mustPanic("arc out of range", func() { nw.AddArc(0, 9, 1, 1) })
+	mustPanic("negative capacity", func() { nw.AddArc(0, 1, -1, 1) })
+	mustPanic("odd flow id", func() {
+		nw2 := NewNetwork(2)
+		nw2.AddArc(0, 1, 1, 1)
+		nw2.Flow(1)
+	})
+}
+
+func TestOrder(t *testing.T) {
+	if NewNetwork(5).Order() != 5 {
+		t.Fatal("order")
+	}
+}

@@ -1,0 +1,140 @@
+package migration
+
+import (
+	"math"
+	"sort"
+
+	"vnfopt/internal/model"
+)
+
+// Exhaustive is the paper's Algorithm 6: search over all ordered
+// distinct-switch migration targets m for the one minimizing C_t(p, m).
+// As with placement.Optimal, branch-and-bound pruning and an optional node
+// budget make it usable as a small-instance benchmark:
+//
+//	partial(depth j) = Σ_{i≤j} μ·c(p(i), m(i)) + ingress(m(1)) + Λ·chain-so-far
+//	lower bound      = partial + Λ·(edges remaining)·minSwitchDist + minEgress
+//
+// (the migration terms of unplaced VNFs are bounded below by zero).
+type Exhaustive struct {
+	// NodeBudget caps search expansions; 0 = unlimited.
+	NodeBudget int
+	// Seed optionally provides an incumbent migrator (e.g. MPareto{}).
+	Seed Migrator
+}
+
+// Name implements Migrator.
+func (Exhaustive) Name() string { return "Optimal" }
+
+// Migrate implements Migrator.
+func (a Exhaustive) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
+	m, c, _, err := a.MigrateProven(d, w, sfc, p, mu)
+	return m, c, err
+}
+
+// MigrateProven is Migrate plus a flag reporting whether the search
+// completed within its node budget.
+func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, bool, error) {
+	if err := checkInputs(d, w, sfc, p, mu); err != nil {
+		return nil, 0, false, err
+	}
+	n := sfc.Len()
+	in, eg := d.EndpointCosts(w)
+	lambda := w.TotalRate()
+	sw := d.Topo.Switches
+
+	bestCost := math.Inf(1)
+	best := p.Clone() // staying put is always feasible
+	bestCost = d.CommCost(w, p)
+	if a.Seed != nil {
+		if m, c, err := a.Seed.Migrate(d, w, sfc, p, mu); err == nil && c < bestCost {
+			best = m.Clone()
+			bestCost = c
+		}
+	}
+
+	// With colocation allowed (capacity ≠ 1) consecutive VNFs can share a
+	// switch at zero chain cost, so the admissible hop bound is 0.
+	minEdge := 0.0
+	if d.SwitchCap() == 1 {
+		minEdge = math.Inf(1)
+		for i, u := range sw {
+			for j, v := range sw {
+				if i != j {
+					if c := d.APSP.Cost(u, v); c < minEdge {
+						minEdge = c
+					}
+				}
+			}
+		}
+	}
+	minEg := math.Inf(1)
+	for _, s := range sw {
+		if eg[s] < minEg {
+			minEg = eg[s]
+		}
+	}
+
+	used := make(map[int]int, n)
+	path := make(model.Placement, 0, n)
+	nodes := 0
+	exhausted := false
+
+	type cand struct {
+		v int
+		c float64
+	}
+
+	var rec func(last int, depth int, cur float64)
+	rec = func(last int, depth int, cur float64) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if a.NodeBudget > 0 && nodes > a.NodeBudget {
+			exhausted = true
+			return
+		}
+		if depth == n {
+			total := cur + eg[last]
+			if total < bestCost {
+				bestCost = total
+				best = path.Clone()
+			}
+			return
+		}
+		var children []cand
+		for _, v := range sw {
+			if !d.CapFits(used, v) {
+				continue
+			}
+			step := mu * d.APSP.Cost(p[depth], v)
+			if depth == 0 {
+				step += in[v]
+			} else {
+				step += lambda * d.APSP.Cost(last, v)
+			}
+			children = append(children, cand{v: v, c: step})
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
+		for _, ch := range children {
+			nc := cur + ch.c
+			remainingEdges := float64(n - depth - 1)
+			lb := nc + lambda*remainingEdges*minEdge + minEg
+			if lb >= bestCost {
+				continue
+			}
+			used[ch.v]++
+			path = append(path, ch.v)
+			rec(ch.v, depth+1, nc)
+			path = path[:len(path)-1]
+			used[ch.v]--
+			if exhausted {
+				return
+			}
+		}
+	}
+	rec(-1, 0, 0)
+
+	return best, bestCost, !exhausted, nil
+}

@@ -1,0 +1,79 @@
+package migration
+
+import (
+	"math"
+
+	"vnfopt/internal/model"
+)
+
+// FullFrontierResult reports the outcome of searching the complete
+// migration-frontier space of Definition 1 (all Π h_j per-VNF positions
+// along the shortest migration paths), as opposed to the h_max parallel
+// frontiers of Definition 2 that Algorithm 5 searches.
+type FullFrontierResult struct {
+	// Best is the minimum-cost valid frontier found.
+	Best model.Placement
+	// BestCt is its total cost C_t.
+	BestCt float64
+	// Enumerated counts the frontier combinations evaluated.
+	Enumerated int
+	// Truncated reports that the combination budget was exhausted before
+	// the full Π h_j space was covered.
+	Truncated bool
+}
+
+// FullFrontiers searches the complete frontier space between p and pNew —
+// the |F| = Π h_j schemes of Definition 1 — and returns the best valid
+// one. maxCombos caps the enumeration (0 = default 1,000,000). Algorithm 5
+// restricts itself to parallel frontiers because |F| explodes in large
+// PPDCs; this function exists to quantify how much that restriction costs
+// (the BenchmarkAblationFullFrontier ablation).
+func FullFrontiers(d *model.PPDC, w model.Workload, sfc model.SFC, p, pNew model.Placement, mu float64, maxCombos int) FullFrontierResult {
+	if maxCombos <= 0 {
+		maxCombos = 1_000_000
+	}
+	n := sfc.Len()
+	paths := make([][]int, n)
+	for j := 0; j < n; j++ {
+		paths[j] = d.APSP.Path(p[j], pNew[j])
+		if paths[j] == nil {
+			paths[j] = []int{p[j]}
+		}
+	}
+	in, eg := d.EndpointCosts(w)
+	lambda := w.TotalRate()
+
+	idx := make([]int, n) // current position along each path
+	fr := make(model.Placement, n)
+	res := FullFrontierResult{BestCt: math.Inf(1)}
+	for {
+		for j := 0; j < n; j++ {
+			fr[j] = paths[j][idx[j]]
+		}
+		res.Enumerated++
+		if fr.Validate(d, sfc) == nil {
+			cb := d.MigrationCost(p, fr, mu)
+			ca := lambda*d.ChainCost(fr) + in[fr[0]] + eg[fr[n-1]]
+			if ct := cb + ca; ct < res.BestCt {
+				res.BestCt = ct
+				res.Best = fr.Clone()
+			}
+		}
+		if res.Enumerated >= maxCombos {
+			res.Truncated = true
+			return res
+		}
+		// Mixed-radix increment.
+		j := 0
+		for ; j < n; j++ {
+			idx[j]++
+			if idx[j] < len(paths[j]) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j == n {
+			return res
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package migration
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+func fullFrontierScenario(t *testing.T, seed int64) (*model.PPDC, model.Workload, model.SFC, model.Placement, model.Placement) {
+	t.Helper()
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.MustPairsClustered(ft, 20, 4, workload.DefaultIntraRack, rng)
+	sfc := model.NewSFC(3)
+	p, _, err := (placement.DP{}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := w.WithRates(workload.Rates(len(w), rng))
+	pNew, _, err := (placement.DP{}).Place(d, w2, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w2, sfc, p, pNew
+}
+
+func TestFullFrontiersAtLeastAsGoodAsParallel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d, w, sfc, p, pNew := fullFrontierScenario(t, seed)
+		const mu = 200
+		full := FullFrontiers(d, w, sfc, p, pNew, mu, 0)
+		if full.Truncated {
+			t.Fatal("tiny instance should not truncate")
+		}
+		if full.Best == nil {
+			t.Fatal("no valid frontier found (p itself is always valid)")
+		}
+		// The parallel frontiers of Definition 2 are a subset of
+		// Definition 1's full space.
+		points := ParallelFrontiers(d, w, sfc, p, pNew, mu)
+		for _, fp := range points {
+			if fp.Valid && fp.Cb+fp.Ca < full.BestCt-1e-9 {
+				t.Fatalf("seed %d: parallel frontier %v beats full search %v", seed, fp.Cb+fp.Ca, full.BestCt)
+			}
+		}
+	}
+}
+
+func TestFullFrontiersEnumerationCount(t *testing.T) {
+	d, w, sfc, p, pNew := fullFrontierScenario(t, 7)
+	full := FullFrontiers(d, w, sfc, p, pNew, 200, 0)
+	want := 1
+	for j := range p {
+		path := d.APSP.Path(p[j], pNew[j])
+		if path == nil {
+			path = []int{p[j]}
+		}
+		want *= len(path)
+	}
+	if full.Enumerated != want {
+		t.Fatalf("enumerated %d, want Π h_j = %d", full.Enumerated, want)
+	}
+}
+
+func TestFullFrontiersTruncation(t *testing.T) {
+	d, w, sfc, p, pNew := fullFrontierScenario(t, 9)
+	full := FullFrontiers(d, w, sfc, p, pNew, 200, 1)
+	if !full.Truncated && full.Enumerated > 1 {
+		t.Fatalf("budget 1 not honoured: %+v", full)
+	}
+}

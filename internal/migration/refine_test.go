@@ -1,0 +1,126 @@
+package migration
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+func TestRefinedNeverWorseThanInner(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		w := workload.MustPairs(ft, 12, workload.DefaultIntraRack, rng)
+		sfc := model.NewSFC(4)
+		p, _, err := (placement.DP{}).Place(d, w, sfc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := w.WithRates(workload.Rates(len(w), rng))
+		for _, inner := range []Migrator{LayeredDP{}, MPareto{}, NoMigration{}} {
+			_, innerCt, err := inner.Migrate(d, w2, sfc, p, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, refCt, err := (Refined{Inner: inner}).Migrate(d, w2, sfc, p, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refCt > innerCt+1e-6 {
+				t.Fatalf("trial %d: refine worsened %s: %v -> %v", trial, inner.Name(), innerCt, refCt)
+			}
+			if err := m.Validate(d, sfc); err != nil {
+				t.Fatalf("trial %d: refined %s invalid: %v", trial, inner.Name(), err)
+			}
+			if got := d.TotalCost(w2, p, m, 300); math.Abs(got-refCt) > 1e-6 {
+				t.Fatalf("trial %d: reported %v evaluates to %v", trial, refCt, got)
+			}
+		}
+	}
+}
+
+func TestRefinedName(t *testing.T) {
+	if (Refined{Inner: MPareto{}}).Name() != "mPareto+refine" {
+		t.Fatal("name")
+	}
+}
+
+func TestOptimalSurrogateDominatesMPareto(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(37))
+	surrogate := OptimalSurrogate()
+	if surrogate.Name() != "Optimal*" {
+		t.Fatalf("name = %q", surrogate.Name())
+	}
+	for trial := 0; trial < 6; trial++ {
+		w := workload.MustPairs(ft, 12, workload.DefaultIntraRack, rng)
+		sfc := model.NewSFC(3)
+		p, _, err := (placement.DP{}).Place(d, w, sfc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := w.WithRates(workload.Rates(len(w), rng))
+		_, mp, err := (MPareto{}).Migrate(d, w2, sfc, p, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sg, err := surrogate.Migrate(d, w2, sfc, p, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg > mp+1e-6 {
+			t.Fatalf("trial %d: surrogate %v worse than mPareto %v", trial, sg, mp)
+		}
+	}
+}
+
+func TestOptimalSurrogateNearExhaustiveOnSmall(t *testing.T) {
+	// On instances where Algorithm 6 is feasible, the surrogate should be
+	// close to (and never below) the proven optimum.
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(41))
+	surrogate := OptimalSurrogate()
+	var surSum, optSum float64
+	for trial := 0; trial < 5; trial++ {
+		w := workload.MustPairs(ft, 10, workload.DefaultIntraRack, rng)
+		sfc := model.NewSFC(3)
+		p, _, err := (placement.DP{}).Place(d, w, sfc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := w.WithRates(workload.Rates(len(w), rng))
+		_, sg, err := surrogate.Migrate(d, w2, sfc, p, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, proven, err := (Exhaustive{Seed: surrogate}).MigrateProven(d, w2, sfc, p, 500)
+		if err != nil || !proven {
+			t.Fatal(err)
+		}
+		if sg < opt-1e-6 {
+			t.Fatalf("trial %d: surrogate %v below optimum %v", trial, sg, opt)
+		}
+		surSum += sg
+		optSum += opt
+	}
+	if surSum > 1.10*optSum {
+		t.Fatalf("surrogate aggregate %v more than 10%% above optimum aggregate %v", surSum, optSum)
+	}
+}
+
+func TestBestOfErrors(t *testing.T) {
+	if _, _, err := (BestOf{}).Migrate(nil, nil, model.NewSFC(1), nil, 0); err == nil {
+		t.Fatal("empty BestOf accepted")
+	}
+	if (BestOf{}).Name() != "BestOf" {
+		t.Fatal("default name")
+	}
+}

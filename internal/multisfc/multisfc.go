@@ -1,0 +1,107 @@
+// Package multisfc implements the paper's future-work generalization
+// "different VM flows can request different SFCs": flows are partitioned
+// into classes, each class has its own service function chain, and
+// placement/migration run per class. Chains of different classes are
+// independent VNF instances, so they may share switches; within one chain
+// the distinct-switch rule still applies.
+package multisfc
+
+import (
+	"fmt"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+)
+
+// Deployment is one placement per traffic class.
+type Deployment struct {
+	// SFCs holds each class's chain definition.
+	SFCs []model.SFC
+	// Chains holds each class's current placement.
+	Chains []model.Placement
+}
+
+// classWorkloads splits the workload by class id. class[i] must index
+// into sfcs.
+func classWorkloads(w model.Workload, class []int, numClasses int) ([]model.Workload, error) {
+	if len(class) != len(w) {
+		return nil, fmt.Errorf("multisfc: %d class labels for %d flows", len(class), len(w))
+	}
+	out := make([]model.Workload, numClasses)
+	for i, c := range class {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("multisfc: flow %d has class %d outside [0,%d)", i, c, numClasses)
+		}
+		out[c] = append(out[c], w[i])
+	}
+	return out, nil
+}
+
+// Place computes a traffic-optimal placement per class with the given TOP
+// solver (nil = the paper's Algorithm 3). Classes with no flows still get
+// a chain (placed for zero traffic, i.e. arbitrary but valid).
+func Place(d *model.PPDC, w model.Workload, class []int, sfcs []model.SFC, solver placement.Solver) (*Deployment, float64, error) {
+	if len(sfcs) == 0 {
+		return nil, 0, fmt.Errorf("multisfc: no SFC classes")
+	}
+	if solver == nil {
+		solver = placement.DP{}
+	}
+	parts, err := classWorkloads(w, class, len(sfcs))
+	if err != nil {
+		return nil, 0, err
+	}
+	dep := &Deployment{SFCs: sfcs, Chains: make([]model.Placement, len(sfcs))}
+	total := 0.0
+	for c := range sfcs {
+		sub := parts[c]
+		if len(sub) == 0 {
+			// Valid placeholder chain for an empty class.
+			sub = model.Workload{}
+		}
+		p, cost, err := solver.Place(d, sub, sfcs[c])
+		if err != nil {
+			return nil, 0, fmt.Errorf("multisfc: class %d: %w", c, err)
+		}
+		dep.Chains[c] = p
+		total += cost
+	}
+	return dep, total, nil
+}
+
+// CommCost evaluates the total communication cost across classes.
+func CommCost(d *model.PPDC, w model.Workload, class []int, dep *Deployment) (float64, error) {
+	parts, err := classWorkloads(w, class, len(dep.Chains))
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for c, sub := range parts {
+		total += d.CommCost(sub, dep.Chains[c])
+	}
+	return total, nil
+}
+
+// Migrate runs a TOM migrator per class under new rates and returns the
+// updated deployment with the summed total cost C_t.
+func Migrate(d *model.PPDC, w model.Workload, class []int, dep *Deployment, mu float64, mig migration.Migrator) (*Deployment, float64, error) {
+	if mig == nil {
+		mig = migration.MPareto{}
+	}
+	parts, err := classWorkloads(w, class, len(dep.Chains))
+	if err != nil {
+		return nil, 0, err
+	}
+	out := &Deployment{SFCs: dep.SFCs, Chains: make([]model.Placement, len(dep.Chains))}
+	total := 0.0
+	for c := range dep.Chains {
+		m, ct, err := mig.Migrate(d, parts[c], dep.SFCs[c], dep.Chains[c], mu)
+		if err != nil {
+			return nil, 0, fmt.Errorf("multisfc: class %d: %w", c, err)
+		}
+		out.Chains[c] = m
+		total += ct
+	}
+	return out, total, nil
+}

@@ -1,0 +1,76 @@
+// Package parallel provides the small worker-pool primitive the
+// experiment harness uses to spread independent runs across cores. Every
+// repetition of an experiment is seeded independently (experiments.Config
+// derives one RNG per run), so fan-out changes wall-clock time only —
+// results stay bit-identical to the sequential order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers ≤ 0 = GOMAXPROCS). It returns the first error by index order,
+// running every index regardless (no short-circuit: experiment runs are
+// cheap relative to the value of complete error reporting).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for i in [0, n) concurrently and collects the results in
+// index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

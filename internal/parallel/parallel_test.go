@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	var hits [100]int32
+	if err := ForEach(100, 8, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndDefaults(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := int32(0)
+	if err := ForEach(3, 0, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d", ran)
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := ForEach(5, 2, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+}
+
+func TestMapOrders(t *testing.T) {
+	out, err := Map(20, 5, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(3, 2, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("x")
+		}
+		return 0, nil
+	}); err == nil {
+		t.Fatal("error swallowed")
+	}
+}

@@ -1,0 +1,144 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+
+	"vnfopt/internal/model"
+)
+
+// Anneal is a simulated-annealing TOP solver — not from the paper, but the
+// local-search tool a practitioner reaches for when the DP's
+// stroll-shaped search space (ingress/egress pairs × edge-count walks)
+// leaves something on the table. It starts from the DP solution (so it is
+// never worse) and explores two neighbourhoods:
+//
+//   - move: relocate one VNF to a capacity-feasible switch;
+//   - swap: exchange the switches of two VNFs.
+//
+// Acceptance follows the Metropolis rule with a geometric cooling
+// schedule. Deterministic for a fixed Seed.
+type Anneal struct {
+	// Iterations is the number of proposal steps (0 = default 20000).
+	Iterations int
+	// Seed drives the proposal RNG (default 1).
+	Seed int64
+	// InitialTemp is the starting temperature as a fraction of the seed
+	// solution's cost (0 = default 0.05).
+	InitialTemp float64
+	// Inner seeds the search (nil = the paper's Algorithm 3).
+	Inner Solver
+}
+
+// Name implements Solver.
+func (Anneal) Name() string { return "Anneal" }
+
+// Place implements Solver.
+func (a Anneal) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
+	if err := checkInputs(d, w, sfc); err != nil {
+		return nil, 0, err
+	}
+	inner := a.Inner
+	if inner == nil {
+		inner = DP{}
+	}
+	cur, curCost, err := inner.Place(d, w, sfc)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur = cur.Clone()
+	n := sfc.Len()
+	if n < 2 || len(d.Topo.Switches) < 2 {
+		return cur, curCost, nil
+	}
+
+	iters := a.Iterations
+	if iters <= 0 {
+		iters = 20000
+	}
+	seed := a.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	temp := a.InitialTemp
+	if temp <= 0 {
+		temp = 0.05
+	}
+	t := temp * math.Max(curCost, 1)
+	cooling := math.Pow(1e-3, 1/float64(iters)) // down 1000x over the run
+
+	in, eg := endpointArrays(d, w)
+	lambda := w.TotalRate()
+	used := make(map[int]int, n)
+	for _, v := range cur {
+		used[v]++
+	}
+	// localDelta evaluates the C_a change of setting cur[j] = v.
+	localDelta := func(j, v int) float64 {
+		old := cur[j]
+		delta := 0.0
+		if j == 0 {
+			delta += in[v] - in[old]
+		} else {
+			delta += lambda * (d.APSP.Cost(cur[j-1], v) - d.APSP.Cost(cur[j-1], old))
+		}
+		if j == n-1 {
+			delta += eg[v] - eg[old]
+		} else {
+			delta += lambda * (d.APSP.Cost(v, cur[j+1]) - d.APSP.Cost(old, cur[j+1]))
+		}
+		return delta
+	}
+
+	best := cur.Clone()
+	bestCost := curCost
+	sw := d.Topo.Switches
+	for it := 0; it < iters; it++ {
+		if rng.Intn(2) == 0 {
+			// Move one VNF.
+			j := rng.Intn(n)
+			v := sw[rng.Intn(len(sw))]
+			if v == cur[j] || !d.CapFits(used, v) {
+				t *= cooling
+				continue
+			}
+			delta := localDelta(j, v)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/t) {
+				used[cur[j]]--
+				used[v]++
+				cur[j] = v
+				curCost += delta
+			}
+		} else {
+			// Swap two VNFs (capacity-neutral).
+			j := rng.Intn(n)
+			k := rng.Intn(n)
+			if j == k || cur[j] == cur[k] {
+				t *= cooling
+				continue
+			}
+			if j > k {
+				j, k = k, j
+			}
+			// Evaluate exactly via full chain cost when adjacent (the
+			// local deltas would double-count the shared edge).
+			before := lambda*d.ChainCost(cur) + in[cur[0]] + eg[cur[n-1]]
+			cur[j], cur[k] = cur[k], cur[j]
+			after := lambda*d.ChainCost(cur) + in[cur[0]] + eg[cur[n-1]]
+			delta := after - before
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/t) {
+				curCost += delta
+			} else {
+				cur[j], cur[k] = cur[k], cur[j] // revert
+			}
+		}
+		if curCost < bestCost-1e-12 {
+			bestCost = curCost
+			best = cur.Clone()
+		}
+		t *= cooling
+	}
+	// Re-evaluate exactly to shed accumulated float drift.
+	return best, d.CommCost(w, best), nil
+}

@@ -1,0 +1,112 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+func TestAnnealNeverWorseThanDP(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		w := workload.MustPairs(ft, 20, workload.DefaultIntraRack, rng)
+		for n := 3; n <= 5; n++ {
+			sfc := model.NewSFC(n)
+			_, dpCost, err := (DP{}).Place(d, w, sfc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, saCost, err := (Anneal{Iterations: 5000, Seed: int64(trial + 1)}).Place(d, w, sfc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(d, sfc); err != nil {
+				t.Fatalf("trial %d n=%d: %v", trial, n, err)
+			}
+			if saCost > dpCost+1e-6 {
+				t.Fatalf("trial %d n=%d: anneal %v worse than DP seed %v", trial, n, saCost, dpCost)
+			}
+			if got := d.CommCost(w, p); math.Abs(got-saCost) > 1e-6 {
+				t.Fatalf("reported %v evaluates to %v", saCost, got)
+			}
+		}
+	}
+}
+
+func TestAnnealRespectsOptimalBound(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(2))
+	w := workload.MustPairs(ft, 12, workload.DefaultIntraRack, rng)
+	sfc := model.NewSFC(3)
+	_, optCost, proven, err := (Optimal{}).PlaceProven(d, w, sfc)
+	if err != nil || !proven {
+		t.Fatal(err)
+	}
+	_, saCost, err := (Anneal{Iterations: 8000}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saCost < optCost-1e-6 {
+		t.Fatalf("anneal %v below proven optimum %v", saCost, optCost)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(3))
+	w := workload.MustPairs(ft, 15, workload.DefaultIntraRack, rng)
+	sfc := model.NewSFC(4)
+	p1, c1, err := (Anneal{Iterations: 3000, Seed: 7}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, c2, err := (Anneal{Iterations: 3000, Seed: 7}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) || c1 != c2 {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", p1, c1, p2, c2)
+	}
+}
+
+func TestAnnealHonorsCapacity(t *testing.T) {
+	ft := topology.MustFatTree(2, nil)
+	d := model.MustNew(ft, model.Options{SwitchCapacity: 2})
+	rng := rand.New(rand.NewSource(4))
+	w := workload.MustPairs(ft, 8, workload.DefaultIntraRack, rng)
+	sfc := model.NewSFC(6) // 6 VNFs on 5 switches needs colocation
+	p, _, err := (Anneal{Iterations: 4000}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(d, sfc); err != nil {
+		t.Fatalf("capacity violated: %v", err)
+	}
+}
+
+func TestAnnealTrivialChain(t *testing.T) {
+	ft := topology.MustFatTree(2, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(5))
+	w := workload.MustPairs(ft, 4, workload.DefaultIntraRack, rng)
+	// n=1: nothing to anneal; must match DP exactly.
+	_, dpCost, err := (DP{}).Place(d, w, model.NewSFC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, saCost, err := (Anneal{}).Place(d, w, model.NewSFC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saCost != dpCost {
+		t.Fatalf("n=1: %v vs %v", saCost, dpCost)
+	}
+}

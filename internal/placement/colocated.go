@@ -1,0 +1,39 @@
+package placement
+
+import (
+	"fmt"
+
+	"vnfopt/internal/model"
+)
+
+// Colocated solves TOP under the paper's future-work relaxation "each
+// switch can install multiple VNFs": with colocation allowed the chain
+// cost Σ c(p(j), p(j+1)) collapses to zero by stacking the whole SFC on
+// one switch, so the optimum is simply the switch minimizing ingress +
+// egress cost. It quantifies how much footnote 3's distinct-switch
+// constraint costs (the BenchmarkAblationColocation ablation).
+type Colocated struct{}
+
+// Name implements Solver.
+func (Colocated) Name() string { return "Colocated" }
+
+// Place implements Solver. It requires a PPDC whose per-switch capacity
+// admits the whole chain on one switch.
+func (Colocated) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
+	if d == nil {
+		return nil, 0, fmt.Errorf("placement: nil PPDC")
+	}
+	if c := d.SwitchCap(); c > 0 && c < sfc.Len() {
+		return nil, 0, fmt.Errorf("placement: Colocated needs capacity ≥ %d per switch, have %d", sfc.Len(), c)
+	}
+	if err := checkInputs(d, w, sfc); err != nil {
+		return nil, 0, err
+	}
+	in, eg := endpointArrays(d, w)
+	p, _ := bestSingle(d, in, eg)
+	full := make(model.Placement, sfc.Len())
+	for j := range full {
+		full[j] = p[0]
+	}
+	return full, d.CommCost(w, full), nil
+}

@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// TestSolversOnEveryTopology exercises the full TOP roster on each
+// supported fabric — the paper's claim that the problems and solutions
+// "apply to any data center topology".
+func TestSolversOnEveryTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	builders := map[string]func() (*topology.Topology, error){
+		"fat-tree":   func() (*topology.Topology, error) { return topology.FatTree(4, nil) },
+		"leaf-spine": func() (*topology.Topology, error) { return topology.LeafSpine(6, 3, 4, nil) },
+		"jellyfish": func() (*topology.Topology, error) {
+			return topology.Jellyfish(16, 4, 2, nil, rand.New(rand.NewSource(3)))
+		},
+		"ring":   func() (*topology.Topology, error) { return topology.Ring(10, nil) },
+		"star":   func() (*topology.Topology, error) { return topology.Star(8, nil) },
+		"linear": func() (*topology.Topology, error) { return topology.Linear(8, nil) },
+		"mesh": func() (*topology.Topology, error) {
+			return topology.RandomMesh(14, 10, 8, nil, rand.New(rand.NewSource(5)))
+		},
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			topo, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := model.MustNew(topo, model.Options{})
+			w := workload.MustPairs(topo, 12, 0.5, rng)
+			sfc := model.NewSFC(3)
+			var costs = map[string]float64{}
+			for _, s := range []Solver{DP{}, Optimal{NodeBudget: 100_000, Seed: DP{}}, Steering{}, Greedy{}} {
+				p, c, err := s.Place(d, w, sfc)
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name(), err)
+				}
+				if err := p.Validate(d, sfc); err != nil {
+					t.Fatalf("%s placement invalid on %s: %v", s.Name(), name, err)
+				}
+				costs[s.Name()] = c
+			}
+			// The heuristics can never beat the Optimal incumbent's bound
+			// seeded by DP.
+			if costs["DP"] < costs["Optimal"]-1e-6 {
+				t.Fatalf("DP %v below Optimal %v on %s", costs["DP"], costs["Optimal"], name)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"vnfopt/internal/model"
+)
+
+// Optimal is the paper's Algorithm 4: exhaustive search over all ordered
+// placements of the n VNFs on distinct switches, here with branch-and-bound
+// pruning so the k=4/k=8 benchmark configurations stay tractable:
+//
+//   - partial cost  = ingress[p(1)] + Λ·chain-so-far;
+//   - lower bound   = partial + Λ·(edges remaining)·minSwitchDist + minEgress;
+//   - children expanded nearest-first.
+//
+// The paper's complexity O(|V|^n) makes Algorithm 4 a small-instance
+// benchmark only; NodeBudget turns it into an anytime search that reports
+// whether optimality was proven.
+type Optimal struct {
+	// NodeBudget caps search expansions; 0 = unlimited.
+	NodeBudget int
+	// Seed optionally provides an incumbent (e.g. the DP solution) so
+	// pruning is effective immediately. Nil means start from +Inf.
+	Seed Solver
+}
+
+// Name implements Solver.
+func (Optimal) Name() string { return "Optimal" }
+
+// Proven reports whether the last Place call proved optimality. Callers
+// that need the flag should use PlaceProven.
+func (a Optimal) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
+	p, c, _, err := a.PlaceProven(d, w, sfc)
+	return p, c, err
+}
+
+// PlaceProven is Place plus a flag reporting whether the search completed
+// within its node budget (i.e. the result is provably optimal).
+func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, bool, error) {
+	if err := checkInputs(d, w, sfc); err != nil {
+		return nil, 0, false, err
+	}
+	n := sfc.Len()
+	in, eg := endpointArrays(d, w)
+	switch n {
+	case 1:
+		p, c := bestSingle(d, in, eg)
+		return p, c, true, nil
+	case 2:
+		p, c := bestPair(d, w, in, eg)
+		return p, c, true, nil
+	}
+
+	lambda := w.TotalRate()
+	sw := d.Topo.Switches
+
+	bestCost := math.Inf(1)
+	var best model.Placement
+	if a.Seed != nil {
+		if p, c, err := a.Seed.Place(d, w, sfc); err == nil {
+			best = p.Clone()
+			bestCost = c
+		}
+	}
+
+	// minEdge: cheapest possible chain hop, for the admissible lower
+	// bound. With colocation allowed (capacity ≠ 1) consecutive VNFs can
+	// share a switch at zero cost, so the only admissible hop bound is 0.
+	minEdge := 0.0
+	if d.SwitchCap() == 1 {
+		minEdge = math.Inf(1)
+		for i, u := range sw {
+			for j, v := range sw {
+				if i != j {
+					if c := d.APSP.Cost(u, v); c < minEdge {
+						minEdge = c
+					}
+				}
+			}
+		}
+	}
+	minEg := math.Inf(1)
+	for _, s := range sw {
+		if eg[s] < minEg {
+			minEg = eg[s]
+		}
+	}
+
+	used := make(map[int]int, n)
+	path := make(model.Placement, 0, n)
+	nodes := 0
+	exhaustedBudget := false
+
+	type cand struct {
+		v int
+		c float64
+	}
+
+	var rec func(last int, depth int, cur float64)
+	rec = func(last int, depth int, cur float64) {
+		if exhaustedBudget {
+			return
+		}
+		nodes++
+		if a.NodeBudget > 0 && nodes > a.NodeBudget {
+			exhaustedBudget = true
+			return
+		}
+		if depth == n {
+			total := cur + eg[last]
+			if total < bestCost {
+				bestCost = total
+				best = path.Clone()
+			}
+			return
+		}
+		var children []cand
+		for _, v := range sw {
+			if !d.CapFits(used, v) {
+				continue
+			}
+			step := 0.0
+			if depth == 0 {
+				step = in[v] // ingress cost for p(1)
+			} else {
+				step = lambda * d.APSP.Cost(last, v)
+			}
+			children = append(children, cand{v: v, c: step})
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
+		for _, ch := range children {
+			nc := cur + ch.c
+			remainingEdges := float64(n - depth - 1)
+			lb := nc + lambda*remainingEdges*minEdge + minEg
+			if lb >= bestCost {
+				continue
+			}
+			used[ch.v]++
+			path = append(path, ch.v)
+			rec(ch.v, depth+1, nc)
+			path = path[:len(path)-1]
+			used[ch.v]--
+			if exhaustedBudget {
+				return
+			}
+		}
+	}
+	rec(-1, 0, 0)
+
+	if best == nil {
+		return nil, 0, false, errNoPlacement(n)
+	}
+	return best, bestCost, !exhaustedBudget, nil
+}

@@ -1,0 +1,104 @@
+// Package placement implements the paper's TOP algorithms: the DP-based
+// Algorithm 3 (all ingress/egress pairs around an (n−2)-stroll), the
+// exhaustive Algorithm 4, and the two comparison baselines Steering [55]
+// and Greedy [34]. TOP-1 (single flow) convenience solvers used by the
+// Fig. 7 experiment live in top1.go.
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"vnfopt/internal/model"
+)
+
+// Solver is one TOP algorithm: given a PPDC, a workload, and an SFC, it
+// returns a placement and its total communication cost C_a(p) (Eq. 1).
+type Solver interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Place computes a placement for the SFC.
+	Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error)
+}
+
+// checkInputs validates the common preconditions of all solvers.
+func checkInputs(d *model.PPDC, w model.Workload, sfc model.SFC) error {
+	if d == nil {
+		return fmt.Errorf("placement: nil PPDC")
+	}
+	n := sfc.Len()
+	if n < 1 {
+		return fmt.Errorf("placement: SFC must contain at least one VNF")
+	}
+	if c := d.SwitchCap(); c > 0 && n > c*len(d.Topo.Switches) {
+		return fmt.Errorf("placement: %d VNFs exceed %d switches × capacity %d", n, len(d.Topo.Switches), c)
+	}
+	if err := w.Validate(d); err != nil {
+		return err
+	}
+	return nil
+}
+
+// switchIndex maps graph vertex IDs of switches to their dense closure
+// index and back.
+type switchIndex struct {
+	vertices []int       // closure index -> graph vertex
+	index    map[int]int // graph vertex -> closure index
+}
+
+func newSwitchIndex(d *model.PPDC) switchIndex {
+	sw := d.Topo.Switches
+	idx := make(map[int]int, len(sw))
+	for i, v := range sw {
+		idx[v] = i
+	}
+	return switchIndex{vertices: sw, index: idx}
+}
+
+// switchCosts returns the dense |V_s|×|V_s| shortest-path cost matrix over
+// switches — the metric closure the stroll solvers take as input.
+func switchCosts(d *model.PPDC) [][]float64 {
+	return d.APSP.CostMatrix(d.Topo.Switches)
+}
+
+// endpointArrays restricts model.PPDC.EndpointCosts to just what the
+// solvers index (full vertex arrays; switch lookups go through the vertex
+// id directly).
+func endpointArrays(d *model.PPDC, w model.Workload) (ingress, egress []float64) {
+	return d.EndpointCosts(w)
+}
+
+// bestSingle solves n = 1: place the only VNF at the switch minimizing
+// ingress + egress cost. This is one of the paper's "simple solutions for
+// cases of n = 1, 2".
+func bestSingle(d *model.PPDC, in, eg []float64) (model.Placement, float64) {
+	best := math.Inf(1)
+	var bestS int
+	for _, s := range d.Topo.Switches {
+		if c := in[s] + eg[s]; c < best {
+			best = c
+			bestS = s
+		}
+	}
+	return model.Placement{bestS}, best
+}
+
+// bestPair solves n = 2 exactly: all ordered switch pairs.
+func bestPair(d *model.PPDC, w model.Workload, in, eg []float64) (model.Placement, float64) {
+	lambda := w.TotalRate()
+	best := math.Inf(1)
+	var p model.Placement
+	capOne := d.SwitchCap() == 1
+	for _, a := range d.Topo.Switches {
+		for _, b := range d.Topo.Switches {
+			if a == b && capOne {
+				continue
+			}
+			if c := in[a] + eg[b] + lambda*d.APSP.Cost(a, b); c < best {
+				best = c
+				p = model.Placement{a, b}
+			}
+		}
+	}
+	return p, best
+}

@@ -1,0 +1,143 @@
+// Package predict adds a traffic-forecasting layer to TOM, in the spirit
+// of the prediction-based VNF migration the paper cites (Tang et al. [47],
+// "VNF migration based on dynamic resource requirements prediction"):
+// instead of reacting to the rates just observed, the migrator positions
+// the chain for the rates it expects next — useful when migration takes
+// effect only after the traffic has already moved on.
+//
+// Two forecasters are provided: EWMA (exponentially weighted moving
+// average) and Linear (one-step linear extrapolation from the last two
+// observations). Both are deliberately simple, deterministic, and
+// per-flow.
+package predict
+
+import (
+	"fmt"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+)
+
+// Forecaster produces the next-step rate vector from observations fed in
+// chronological order.
+type Forecaster interface {
+	// Observe ingests one step's rates.
+	Observe(rates []float64) error
+	// Forecast predicts the next step's rates (a copy). Before any
+	// observation it returns nil.
+	Forecast() []float64
+}
+
+// EWMA forecasts with an exponentially weighted moving average:
+// ŷ ← α·y + (1−α)·ŷ.
+type EWMA struct {
+	// Alpha is the smoothing weight in (0, 1]; higher tracks faster.
+	Alpha float64
+
+	state []float64
+}
+
+// NewEWMA returns an EWMA forecaster with the given smoothing weight.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Observe implements Forecaster.
+func (e *EWMA) Observe(rates []float64) error {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return fmt.Errorf("predict: EWMA alpha %v outside (0,1]", e.Alpha)
+	}
+	if e.state == nil {
+		e.state = append([]float64(nil), rates...)
+		return nil
+	}
+	if len(rates) != len(e.state) {
+		return fmt.Errorf("predict: %d rates, state has %d", len(rates), len(e.state))
+	}
+	for i, r := range rates {
+		e.state[i] = e.Alpha*r + (1-e.Alpha)*e.state[i]
+	}
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (e *EWMA) Forecast() []float64 {
+	if e.state == nil {
+		return nil
+	}
+	return append([]float64(nil), e.state...)
+}
+
+// Linear extrapolates one step ahead from the last two observations:
+// ŷ = y_t + (y_t − y_{t−1}), floored at zero.
+type Linear struct {
+	prev, last []float64
+}
+
+// NewLinear returns a linear extrapolation forecaster.
+func NewLinear() *Linear { return &Linear{} }
+
+// Observe implements Forecaster.
+func (l *Linear) Observe(rates []float64) error {
+	if l.last != nil && len(rates) != len(l.last) {
+		return fmt.Errorf("predict: %d rates, state has %d", len(rates), len(l.last))
+	}
+	l.prev = l.last
+	l.last = append([]float64(nil), rates...)
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (l *Linear) Forecast() []float64 {
+	if l.last == nil {
+		return nil
+	}
+	out := append([]float64(nil), l.last...)
+	if l.prev != nil {
+		for i := range out {
+			out[i] = 2*l.last[i] - l.prev[i]
+			if out[i] < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+// Migrator wraps a TOM migrator with a forecaster: each call observes the
+// current rates, then migrates for the *predicted* next rates while the
+// returned total cost C_t is still accounted against the observed rates
+// (prediction changes where the chain goes, not what this hour costs).
+// The wrapper is stateful — use one instance per simulation run.
+type Migrator struct {
+	// Inner performs the migration (e.g. migration.MPareto{}).
+	Inner migration.Migrator
+	// Forecast supplies the per-flow predictions.
+	Forecast Forecaster
+}
+
+// Name implements migration.Migrator.
+func (m *Migrator) Name() string { return m.Inner.Name() + "+forecast" }
+
+// Migrate implements migration.Migrator.
+func (m *Migrator) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
+	if err := m.Forecast.Observe(w.Rates()); err != nil {
+		return nil, 0, err
+	}
+	predicted := m.Forecast.Forecast()
+	target := w
+	if predicted != nil {
+		target = w.WithRates(predicted)
+	}
+	mig, _, err := m.Inner.Migrate(d, target, sfc, p, mu)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Account this hour at the observed rates: migration traffic plus
+	// the communication cost the observed load actually incurs on the
+	// (possibly prediction-shaped) placement. Guard against predictions
+	// that make this hour worse than staying put.
+	ct := d.TotalCost(w, p, mig, mu)
+	if stay := d.CommCost(w, p); stay < ct {
+		return p.Clone(), stay, nil
+	}
+	return mig, ct, nil
+}

@@ -1,0 +1,136 @@
+// Package replication implements the paper's stated future work: "We will
+// investigate how VNF replication can alleviate dynamic VM traffic in
+// PPDCs and study to which extent VNF replication could be beneficial ...
+// when compared to VNF migration."
+//
+// Instead of migrating one SFC instance, the operator deploys R replicas
+// of the whole chain; each VM flow traverses whichever replica chain is
+// cheapest for it. Replica chains are placed with a Lloyd-style
+// alternation: assign flows to their cheapest chain, re-place each chain
+// traffic-optimally for its assigned flows (the paper's Algorithm 3), and
+// repeat until assignments stabilize.
+package replication
+
+import (
+	"fmt"
+	"math"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+)
+
+// Deployment is a set of replica SFC chains plus the flow assignment.
+type Deployment struct {
+	// Chains holds one placement per replica.
+	Chains []model.Placement
+	// Assign maps each flow index to its chain.
+	Assign []int
+	// Cost is the total communication cost under the assignment.
+	Cost float64
+}
+
+// Options tunes replica placement.
+type Options struct {
+	// Rounds caps the assign/re-place alternations (0 = default 4).
+	Rounds int
+	// Placer places each replica chain (nil = the paper's Algorithm 3).
+	Placer placement.Solver
+}
+
+// Place deploys r replica chains for the workload. r must be ≥ 1 and the
+// PPDC must have at least r·n switches (each chain uses distinct switches;
+// distinct chains may overlap, as replicas are independent instances).
+func Place(d *model.PPDC, w model.Workload, sfc model.SFC, r int, opts Options) (*Deployment, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("replication: need at least one replica, got %d", r)
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("replication: empty workload")
+	}
+	placer := opts.Placer
+	if placer == nil {
+		placer = placement.DP{}
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+
+	// Initial partition: spread flows round-robin by source host so the
+	// chains start spatially diverse.
+	dep := &Deployment{
+		Chains: make([]model.Placement, r),
+		Assign: make([]int, len(w)),
+	}
+	for i, f := range w {
+		dep.Assign[i] = (f.Src + i) % r
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Re-place each chain for its current flows.
+		for c := 0; c < r; c++ {
+			var sub model.Workload
+			for i, f := range w {
+				if dep.Assign[i] == c {
+					sub = append(sub, f)
+				}
+			}
+			if len(sub) == 0 {
+				// Orphan chain: give it the full workload's optimum so
+				// it stays a useful fallback.
+				sub = w
+			}
+			p, _, err := placer.Place(d, sub, sfc)
+			if err != nil {
+				return nil, fmt.Errorf("replication: chain %d: %w", c, err)
+			}
+			dep.Chains[c] = p
+		}
+		// Re-assign each flow to its cheapest chain.
+		changed := false
+		for i, f := range w {
+			bestC, bestCost := dep.Assign[i], math.Inf(1)
+			for c := 0; c < r; c++ {
+				if cost := d.FlowCost(f, dep.Chains[c]); cost < bestCost {
+					bestC, bestCost = c, cost
+				}
+			}
+			if bestC != dep.Assign[i] {
+				dep.Assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	dep.Cost = CommCost(d, w, dep.Chains, dep.Assign)
+	return dep, nil
+}
+
+// CommCost evaluates the total communication cost of a workload routed
+// through its assigned replica chains.
+func CommCost(d *model.PPDC, w model.Workload, chains []model.Placement, assign []int) float64 {
+	total := 0.0
+	for i, f := range w {
+		total += d.FlowCost(f, chains[assign[i]])
+	}
+	return total
+}
+
+// Reassign re-routes flows to their cheapest chain under new rates without
+// moving any VNF — the replication answer to dynamic traffic (no migration
+// cost is ever paid; the price is r−1 extra chain deployments).
+func Reassign(d *model.PPDC, w model.Workload, chains []model.Placement) ([]int, float64) {
+	assign := make([]int, len(w))
+	for i, f := range w {
+		best, bestCost := 0, math.Inf(1)
+		for c := range chains {
+			if cost := d.FlowCost(f, chains[c]); cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		assign[i] = best
+	}
+	return assign, CommCost(d, w, chains, assign)
+}

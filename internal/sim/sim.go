@@ -1,0 +1,308 @@
+// Package sim is the dynamic-PPDC simulator behind the Fig. 11
+// experiments and the examples: it drives an hourly rate schedule through
+// a PPDC and lets strategies react — TOM migrators moving VNFs, VM
+// baselines moving endpoints, or nothing — while recording costs,
+// migration counts, and (optionally) per-link load peaks.
+//
+// The simulator realizes the paper's framework lifecycle: TOP computes the
+// initial placement at the first active hour, then the chosen TOM policy
+// executes periodically "to optimize a PPDC's network resource in the face
+// of dynamic VM traffic".
+package sim
+
+import (
+	"fmt"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/routing"
+	"vnfopt/internal/vmmig"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// PPDC is the fabric.
+	PPDC *model.PPDC
+	// SFC is the chain every flow traverses.
+	SFC model.SFC
+	// Base provides the flow endpoints; its rates are ignored.
+	Base model.Workload
+	// Schedule[h][i] is flow i's rate in hour h+1 (e.g. from
+	// workload.BurstModel.Schedule).
+	Schedule [][]float64
+	// Mu is the migration coefficient.
+	Mu float64
+	// HourVolume scales rates into hourly traffic volumes (≤ 0 = 1).
+	HourVolume float64
+	// Placer computes the initial placement (nil = Algorithm 3).
+	Placer placement.Solver
+	// TrackLinks enables per-hour link-load reports (costs one routing
+	// pass per hour).
+	TrackLinks bool
+}
+
+// Step is one simulated hour's outcome.
+type Step struct {
+	// Hour is 1-based.
+	Hour int
+	// Cost is the hour's total cost (migration performed this hour plus
+	// communication).
+	Cost float64
+	// Moves is the number of migrations performed this hour.
+	Moves int
+	// MeanLatency is the traffic-weighted mean policy-preserving path
+	// cost of the hour (communication cost per unit of traffic) — the
+	// latency proxy of the paper's weighted PPDCs. Zero in silent hours.
+	MeanLatency float64
+	// Links summarizes the hour's link loads (zero value unless
+	// Config.TrackLinks).
+	Links routing.Report
+}
+
+// Trace is a full simulation run.
+type Trace struct {
+	// Strategy names the policy that produced the trace.
+	Strategy string
+	// Initial is the TOP placement the run started from.
+	Initial model.Placement
+	// Final is the placement after the last hour (Initial for VM
+	// strategies and NoMigration).
+	Final model.Placement
+	// Steps holds one entry per hour.
+	Steps []Step
+	// Total is the summed hourly cost.
+	Total float64
+	// TotalMoves is the summed migration count.
+	TotalMoves int
+	// PeakLink is the maximum per-link load seen over the run (only with
+	// Config.TrackLinks).
+	PeakLink float64
+}
+
+// Simulator is a validated, immutable scenario; each Run* walks the same
+// schedule so strategies are compared on identical traffic.
+type Simulator struct {
+	cfg   Config
+	hours []model.Workload
+	p0    model.Placement
+}
+
+// New validates the scenario, materializes the hourly workloads, and
+// computes the initial TOP placement.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.PPDC == nil {
+		return nil, fmt.Errorf("sim: nil PPDC")
+	}
+	if len(cfg.Schedule) == 0 {
+		return nil, fmt.Errorf("sim: empty schedule")
+	}
+	if cfg.Mu < 0 {
+		return nil, fmt.Errorf("sim: negative μ %v", cfg.Mu)
+	}
+	if err := cfg.Base.Validate(cfg.PPDC); err != nil {
+		return nil, err
+	}
+	vol := cfg.HourVolume
+	if vol <= 0 {
+		vol = 1
+	}
+	s := &Simulator{cfg: cfg}
+	for h, rates := range cfg.Schedule {
+		if len(rates) != len(cfg.Base) {
+			return nil, fmt.Errorf("sim: schedule hour %d has %d rates for %d flows", h+1, len(rates), len(cfg.Base))
+		}
+		w := make(model.Workload, len(cfg.Base))
+		for i, f := range cfg.Base {
+			if rates[i] < 0 {
+				return nil, fmt.Errorf("sim: negative rate at hour %d flow %d", h+1, i)
+			}
+			f.Rate = rates[i] * vol
+			w[i] = f
+		}
+		s.hours = append(s.hours, w)
+	}
+	first := -1
+	for h := range s.hours {
+		if s.hours[h].TotalRate() > 0 {
+			first = h
+			break
+		}
+	}
+	if first < 0 {
+		return nil, fmt.Errorf("sim: schedule has no traffic")
+	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = placement.DP{}
+	}
+	p0, _, err := placer.Place(cfg.PPDC, s.hours[first], cfg.SFC)
+	if err != nil {
+		return nil, fmt.Errorf("sim: initial placement: %w", err)
+	}
+	s.p0 = p0
+	return s, nil
+}
+
+// Hours returns the number of simulated hours.
+func (s *Simulator) Hours() int { return len(s.hours) }
+
+// HourWorkload returns the workload of 1-based hour h (shared storage; do
+// not mutate).
+func (s *Simulator) HourWorkload(h int) model.Workload { return s.hours[h-1] }
+
+// Initial returns the TOP placement the runs start from.
+func (s *Simulator) Initial() model.Placement { return s.p0.Clone() }
+
+// meanLatency returns C_a per unit of traffic for the hour (0 if silent).
+func (s *Simulator) meanLatency(w model.Workload, p model.Placement) float64 {
+	total := w.TotalRate()
+	if total == 0 {
+		return 0
+	}
+	return s.cfg.PPDC.CommCost(w, p) / total
+}
+
+// track fills the step's link report when enabled.
+func (s *Simulator) track(step *Step, w model.Workload, pPrev, pCur model.Placement) error {
+	if !s.cfg.TrackLinks {
+		return nil
+	}
+	loads, err := routing.LinkLoads(s.cfg.PPDC, w, pCur)
+	if err != nil {
+		return err
+	}
+	routing.AddMigrationLoads(s.cfg.PPDC, loads, pPrev, pCur, s.cfg.Mu)
+	step.Links = routing.Summarize(loads)
+	return nil
+}
+
+// RunVNF simulates the schedule with a TOM migrator adapting the
+// placement every hour.
+func (s *Simulator) RunVNF(mig migration.Migrator) (*Trace, error) {
+	tr := &Trace{Strategy: mig.Name(), Initial: s.Initial()}
+	p := s.p0.Clone()
+	for h := range s.hours {
+		w := s.hours[h]
+		m, ct, err := mig.Migrate(s.cfg.PPDC, w, s.cfg.SFC, p, s.cfg.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s hour %d: %w", mig.Name(), h+1, err)
+		}
+		step := Step{
+			Hour:        h + 1,
+			Cost:        ct,
+			Moves:       migration.MigrationCount(p, m),
+			MeanLatency: s.meanLatency(w, m),
+		}
+		if err := s.track(&step, w, p, m); err != nil {
+			return nil, err
+		}
+		tr.record(step)
+		p = m
+	}
+	tr.Final = p
+	return tr, nil
+}
+
+// RunVM simulates the schedule with a VM-migration baseline: VNFs stay at
+// the initial placement while VM endpoints move; host moves persist.
+func (s *Simulator) RunVM(mig vmmig.VMMigrator) (*Trace, error) {
+	tr := &Trace{Strategy: mig.Name(), Initial: s.Initial(), Final: s.Initial()}
+	hosts := make([][2]int, len(s.cfg.Base))
+	for i, f := range s.cfg.Base {
+		hosts[i] = [2]int{f.Src, f.Dst}
+	}
+	for h := range s.hours {
+		w := make(model.Workload, len(s.hours[h]))
+		for i, f := range s.hours[h] {
+			f.Src, f.Dst = hosts[i][0], hosts[i][1]
+			w[i] = f
+		}
+		out, total, moves, err := mig.Migrate(s.cfg.PPDC, w, s.cfg.SFC, s.p0, s.cfg.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s hour %d: %w", mig.Name(), h+1, err)
+		}
+		step := Step{Hour: h + 1, Cost: total, Moves: moves, MeanLatency: s.meanLatency(out, s.p0)}
+		if err := s.track(&step, out, s.p0, s.p0); err != nil {
+			return nil, err
+		}
+		tr.record(step)
+		for i := range out {
+			hosts[i] = [2]int{out[i].Src, out[i].Dst}
+		}
+	}
+	return tr, nil
+}
+
+// RunJoint simulates the schedule with both knobs turned each hour: the
+// TOM migrator first repositions the VNFs for the hour's rates, then the
+// VM baseline relocates endpoints against the *updated* placement. An
+// extension beyond the paper, which studies the two mechanisms separately
+// (Fig. 11); the joint run bounds how much headroom remains when they
+// cooperate. The hour's cost charges VNF migration + VM migration + the
+// resulting communication cost; Moves counts both kinds.
+func (s *Simulator) RunJoint(vnfMig migration.Migrator, vmMig vmmig.VMMigrator) (*Trace, error) {
+	tr := &Trace{Strategy: vnfMig.Name() + "+" + vmMig.Name(), Initial: s.Initial()}
+	p := s.p0.Clone()
+	hosts := make([][2]int, len(s.cfg.Base))
+	for i, f := range s.cfg.Base {
+		hosts[i] = [2]int{f.Src, f.Dst}
+	}
+	for h := range s.hours {
+		w := make(model.Workload, len(s.hours[h]))
+		for i, f := range s.hours[h] {
+			f.Src, f.Dst = hosts[i][0], hosts[i][1]
+			w[i] = f
+		}
+		m, _, err := vnfMig.Migrate(s.cfg.PPDC, w, s.cfg.SFC, p, s.cfg.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("sim: joint %s hour %d: %w", vnfMig.Name(), h+1, err)
+		}
+		vnfCost := s.cfg.PPDC.MigrationCost(p, m, s.cfg.Mu)
+		out, vmTotal, vmMoves, err := vmMig.Migrate(s.cfg.PPDC, w, s.cfg.SFC, m, s.cfg.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("sim: joint %s hour %d: %w", vmMig.Name(), h+1, err)
+		}
+		step := Step{
+			Hour:        h + 1,
+			Cost:        vnfCost + vmTotal, // vmTotal already includes comm cost
+			Moves:       migration.MigrationCount(p, m) + vmMoves,
+			MeanLatency: s.meanLatency(out, m),
+		}
+		if err := s.track(&step, out, p, m); err != nil {
+			return nil, err
+		}
+		tr.record(step)
+		p = m
+		for i := range out {
+			hosts[i] = [2]int{out[i].Src, out[i].Dst}
+		}
+	}
+	tr.Final = p
+	return tr, nil
+}
+
+// RunFrozen simulates the schedule with the placement frozen at the
+// initial TOP solution (the paper's NoMigration reference).
+func (s *Simulator) RunFrozen() (*Trace, error) {
+	tr := &Trace{Strategy: "NoMigration", Initial: s.Initial(), Final: s.Initial()}
+	for h := range s.hours {
+		w := s.hours[h]
+		step := Step{Hour: h + 1, Cost: s.cfg.PPDC.CommCost(w, s.p0), MeanLatency: s.meanLatency(w, s.p0)}
+		if err := s.track(&step, w, s.p0, s.p0); err != nil {
+			return nil, err
+		}
+		tr.record(step)
+	}
+	return tr, nil
+}
+
+// record appends a step and updates the aggregates.
+func (tr *Trace) record(step Step) {
+	tr.Steps = append(tr.Steps, step)
+	tr.Total += step.Cost
+	tr.TotalMoves += step.Moves
+	if step.Links.Max > tr.PeakLink {
+		tr.PeakLink = step.Links.Max
+	}
+}

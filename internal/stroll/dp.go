@@ -1,0 +1,196 @@
+package stroll
+
+import (
+	"fmt"
+	"math"
+)
+
+// DPTable is the incremental dynamic program of the paper's Algorithm 2,
+// computed toward a fixed target t: c[e][u] is the minimum cost of a u→t
+// walk with exactly e edges, under the rule that the walk never passes
+// through t before its final edge and never immediately backtracks
+// (u → v → u is forbidden, paper line 6).
+//
+// The table is shared across sources: one DPTable answers stroll queries
+// from *every* source toward t, which is what makes the paper's Algorithm 3
+// (all ingress/egress pairs) affordable on k=16 fat trees.
+type DPTable struct {
+	cost [][]float64
+	t    int
+	c    [][]float64 // c[e][u], e >= 1
+	succ [][]int32   // succ[e][u]: next node after u on the optimal walk
+}
+
+// NewDPTable prepares the 1-edge base case toward target t.
+func NewDPTable(cost [][]float64, t int) *DPTable {
+	nv := len(cost)
+	base := make([]float64, nv)
+	bSucc := make([]int32, nv)
+	for u := 0; u < nv; u++ {
+		if u == t {
+			base[u] = math.Inf(1)
+			bSucc[u] = -1
+		} else {
+			base[u] = cost[u][t]
+			bSucc[u] = int32(t)
+		}
+	}
+	return &DPTable{
+		cost: cost,
+		t:    t,
+		c:    [][]float64{nil, base}, // index 0 unused
+		succ: [][]int32{nil, bSucc},
+	}
+}
+
+// extend grows the table so walks of up to maxE edges are available.
+func (tb *DPTable) extend(maxE int) {
+	nv := len(tb.cost)
+	for e := len(tb.c); e <= maxE; e++ {
+		prevC, prevS := tb.c[e-1], tb.succ[e-1]
+		curC := make([]float64, nv)
+		curS := make([]int32, nv)
+		for u := 0; u < nv; u++ {
+			best := math.Inf(1)
+			bestV := int32(-1)
+			for v := 0; v < nv; v++ {
+				// v is the walk's next hop: not u itself, not the
+				// target (t only terminates walks), and not an
+				// immediate backtrack (the hop after v must not
+				// return to u).
+				if v == u || v == tb.t || int(prevS[v]) == u {
+					continue
+				}
+				if pc := prevC[v]; !math.IsInf(pc, 1) {
+					if cand := tb.cost[u][v] + pc; cand < best {
+						best = cand
+						bestV = int32(v)
+					}
+				}
+			}
+			curC[u] = best
+			curS[u] = bestV
+		}
+		tb.c = append(tb.c, curC)
+		tb.succ = append(tb.succ, curS)
+	}
+}
+
+// walk traces the optimal e-edge walk from s. It returns nil when no such
+// walk exists.
+func (tb *DPTable) walk(s, e int) []int {
+	if math.IsInf(tb.c[e][s], 1) {
+		return nil
+	}
+	out := make([]int, 0, e+1)
+	out = append(out, s)
+	cur := s
+	for k := e; k >= 1; k-- {
+		cur = int(tb.succ[k][cur])
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Stroll answers one query: the cheapest s→t walk found by the edge-count
+// DP that visits at least n distinct intermediates. maxEdges caps the edge
+// budget ramp (pass 0 for the default n+9). It mirrors Algorithm 2's outer
+// loop: start at r = n+1 edges and increment until the traced walk covers
+// n distinct nodes.
+//
+// Algorithm 2 leaves one case open: on some inputs the minimum-cost
+// r-edge walk keeps cycling through already-visited cheap nodes no matter
+// how far r ramps (the no-immediate-backtrack rule only forbids 2-cycles).
+// When the ramp exhausts maxEdges, the best walk seen is completed by
+// cheapest insertion of the missing distinct nodes — a metric-safe repair
+// marked by Result.Repaired.
+func (tb *DPTable) Stroll(s, n, maxEdges int) (Result, error) {
+	if maxEdges <= 0 {
+		maxEdges = n + 9
+	}
+	r := n + 1
+	if r < 1 {
+		r = 1
+	}
+	var bestWalk []int // walk with the most distinct intermediates so far
+	bestDistinct := -1
+	for ; r <= maxEdges; r++ {
+		tb.extend(r)
+		w := tb.walk(s, r)
+		if w == nil {
+			continue
+		}
+		vis := distinctIntermediates(w, s, tb.t)
+		if len(vis) >= n {
+			return Result{
+				Cost:    tb.c[r][s],
+				Walk:    w,
+				Visited: vis[:n],
+			}, nil
+		}
+		if len(vis) > bestDistinct {
+			bestDistinct = len(vis)
+			bestWalk = w
+		}
+	}
+	if bestWalk == nil {
+		return Result{}, fmt.Errorf("stroll: DP found no s-t walk at all within %d edges", maxEdges)
+	}
+	walk, err := insertMissing(tb.cost, bestWalk, s, tb.t, n)
+	if err != nil {
+		return Result{}, err
+	}
+	vis := distinctIntermediates(walk, s, tb.t)
+	return Result{
+		Cost:     walkCost(tb.cost, walk),
+		Walk:     walk,
+		Visited:  vis[:n],
+		Repaired: true,
+	}, nil
+}
+
+// insertMissing grows the walk's distinct intermediate count to n by
+// repeatedly inserting the globally cheapest (node, position) pair —
+// cheapest-insertion on the metric closure.
+func insertMissing(cost [][]float64, walk []int, s, t, n int) ([]int, error) {
+	w := append([]int(nil), walk...)
+	inWalk := make(map[int]bool, len(w))
+	for _, v := range w {
+		inWalk[v] = true
+	}
+	distinct := len(distinctIntermediates(w, s, t))
+	for distinct < n {
+		bestDelta := math.Inf(1)
+		bestV, bestPos := -1, -1
+		for v := range cost {
+			if v == s || v == t || inWalk[v] {
+				continue
+			}
+			for i := 0; i+1 < len(w); i++ {
+				delta := cost[w[i]][v] + cost[v][w[i+1]] - cost[w[i]][w[i+1]]
+				if delta < bestDelta {
+					bestDelta = delta
+					bestV, bestPos = v, i
+				}
+			}
+		}
+		if bestV < 0 {
+			return nil, fmt.Errorf("stroll: cannot reach %d distinct nodes (only %d available)", n, distinct)
+		}
+		w = append(w, 0)
+		copy(w[bestPos+2:], w[bestPos+1:])
+		w[bestPos+1] = bestV
+		inWalk[bestV] = true
+		distinct++
+	}
+	return w, nil
+}
+
+// DP solves one instance with the paper's Algorithm 2. For repeated
+// queries against the same target prefer NewDPTable + Stroll.
+func DP(in Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	return NewDPTable(in.Cost, in.T).Stroll(in.S, in.N, 0)
+}

@@ -1,0 +1,156 @@
+package stroll
+
+import (
+	"math"
+	"sort"
+)
+
+// In the metric closure an optimal n-stroll can always be taken as a
+// *simple path* s → x_1 → … → x_n → t over n distinct intermediates:
+// shortcutting past a repeated vertex never increases cost under the
+// triangle inequality. Exhaustive therefore enumerates ordered n-tuples of
+// intermediates with branch-and-bound:
+//
+//   - upper bound seeded by the DP solution (Algorithm 2);
+//   - lower bound for a partial path ending at u with k nodes still to
+//     place: cost so far + max( c(u,t), (k+1) · minEdge ), both admissible
+//     in a metric;
+//   - children visited cheapest-extension-first to tighten the incumbent
+//     early.
+//
+// NodeBudget caps the search; when exhausted the best incumbent is
+// returned with Optimal=false.
+
+// ExhaustiveOptions tunes the branch-and-bound search.
+type ExhaustiveOptions struct {
+	// NodeBudget caps the number of search-tree expansions; 0 means
+	// unlimited. When the budget runs out the incumbent is returned with
+	// Result.Optimal == false.
+	NodeBudget int
+}
+
+// Exhaustive finds a provably optimal n-stroll (paper Algorithms 4/6 use
+// this as their inner engine) unless the node budget is exhausted first.
+func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	nv := len(in.Cost)
+
+	// Seed the incumbent with the DP solution so pruning bites from the
+	// first branch.
+	best, err := DP(in)
+	if err != nil {
+		return Result{}, err
+	}
+	if in.N == 0 {
+		direct := Result{
+			Cost:    in.Cost[in.S][in.T],
+			Walk:    []int{in.S, in.T},
+			Visited: []int{},
+			Optimal: true,
+		}
+		if direct.Cost <= best.Cost {
+			return direct, nil
+		}
+		best.Optimal = true
+		return best, nil
+	}
+	bestPath := append([]int(nil), best.Walk...)
+	bestCost := best.Cost
+
+	// Candidate intermediates: everything but the terminals.
+	cands := make([]int, 0, nv-2)
+	for v := 0; v < nv; v++ {
+		if v != in.S && v != in.T {
+			cands = append(cands, v)
+		}
+	}
+	// Global minimum positive edge cost among candidate-relevant pairs,
+	// for the (k+1)·minEdge part of the bound. A zero min keeps the bound
+	// valid (just weaker).
+	minEdge := math.Inf(1)
+	for i := 0; i < nv; i++ {
+		for j := 0; j < nv; j++ {
+			if i != j && in.Cost[i][j] < minEdge {
+				minEdge = in.Cost[i][j]
+			}
+		}
+	}
+
+	used := make([]bool, nv)
+	path := make([]int, 0, in.N+2)
+	path = append(path, in.S)
+	nodes := 0
+	budget := opts.NodeBudget
+	exhausted := false
+
+	type cand struct {
+		v int
+		c float64
+	}
+	// Pre-allocated per-depth scratch for sorted children.
+	scratch := make([][]cand, in.N+1)
+	for i := range scratch {
+		scratch[i] = make([]cand, 0, len(cands))
+	}
+
+	var rec func(last int, depth int, cur float64)
+	rec = func(last int, depth int, cur float64) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if budget > 0 && nodes > budget {
+			exhausted = true
+			return
+		}
+		if depth == in.N {
+			total := cur + in.Cost[last][in.T]
+			if total < bestCost {
+				bestCost = total
+				bestPath = bestPath[:0]
+				bestPath = append(bestPath, path...)
+				bestPath = append(bestPath, in.T)
+			}
+			return
+		}
+		remaining := in.N - depth
+		children := scratch[depth][:0]
+		for _, v := range cands {
+			if !used[v] {
+				children = append(children, cand{v: v, c: in.Cost[last][v]})
+			}
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
+		for _, ch := range children {
+			nc := cur + ch.c
+			lb := nc + math.Max(in.Cost[ch.v][in.T], float64(remaining)*minEdge)
+			if lb >= bestCost {
+				// Children are sorted by extension cost, but the t-distance
+				// term differs per child, so keep scanning siblings.
+				continue
+			}
+			used[ch.v] = true
+			path = append(path, ch.v)
+			rec(ch.v, depth+1, nc)
+			path = path[:len(path)-1]
+			used[ch.v] = false
+			if exhausted {
+				return
+			}
+		}
+	}
+	rec(in.S, 0, 0)
+
+	vis := distinctIntermediates(bestPath, in.S, in.T)
+	if len(vis) > in.N {
+		vis = vis[:in.N]
+	}
+	return Result{
+		Cost:    bestCost,
+		Walk:    bestPath,
+		Visited: vis,
+		Optimal: !exhausted,
+	}, nil
+}

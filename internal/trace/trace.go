@@ -1,0 +1,153 @@
+// Package trace serializes experiment scenarios — a topology
+// specification, a workload, and an hourly rate schedule — as JSON, so
+// runs can be archived, shared, and replayed bit-for-bit without carrying
+// RNG seeds around.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// FormatVersion tags the on-disk layout.
+const FormatVersion = 1
+
+// TopoSpec describes how to rebuild a topology. Only generated topologies
+// are supported (the library has no hand-drawn ones); the spec keeps the
+// generator name and its parameters.
+type TopoSpec struct {
+	// Kind is one of fat-tree, linear, ring, star, mesh, leaf-spine,
+	// jellyfish.
+	Kind string `json:"kind"`
+	// K is the fat-tree arity.
+	K int `json:"k,omitempty"`
+	// Size is the switch count for linear/ring/star/mesh/jellyfish.
+	Size int `json:"size,omitempty"`
+	// Hosts is the host count (mesh) or hosts-per-leaf/switch
+	// (leaf-spine, jellyfish).
+	Hosts int `json:"hosts,omitempty"`
+	// Extra is the extra-edge count (mesh) or spine count (leaf-spine)
+	// or switch degree (jellyfish).
+	Extra int `json:"extra,omitempty"`
+	// Seed feeds the generator for randomized topologies and weighted
+	// link delays.
+	Seed int64 `json:"seed,omitempty"`
+	// Weighted applies the paper's link-delay distribution.
+	Weighted bool `json:"weighted,omitempty"`
+}
+
+// Build reconstructs the topology.
+func (s TopoSpec) Build() (*topology.Topology, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	var weight topology.WeightFunc
+	if s.Weighted {
+		weight = topology.PaperDelay(rng)
+	}
+	switch s.Kind {
+	case "fat-tree":
+		return topology.FatTree(s.K, weight)
+	case "linear":
+		return topology.Linear(s.Size, weight)
+	case "ring":
+		return topology.Ring(s.Size, weight)
+	case "star":
+		return topology.Star(s.Size, weight)
+	case "mesh":
+		return topology.RandomMesh(s.Size, s.Hosts, s.Extra, weight, rng)
+	case "leaf-spine":
+		return topology.LeafSpine(s.Size, s.Extra, s.Hosts, weight)
+	case "jellyfish":
+		return topology.Jellyfish(s.Size, s.Extra, s.Hosts, weight, rng)
+	default:
+		return nil, fmt.Errorf("trace: unknown topology kind %q", s.Kind)
+	}
+}
+
+// Flow is one serialized VM pair.
+type Flow struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Rate float64 `json:"rate"`
+}
+
+// Trace is a complete replayable scenario.
+type Trace struct {
+	// Version is FormatVersion.
+	Version int `json:"version"`
+	// Topology rebuilds the fabric.
+	Topology TopoSpec `json:"topology"`
+	// Flows is the base workload.
+	Flows []Flow `json:"flows"`
+	// Schedule, when present, holds hourly rates: Schedule[h][i] is flow
+	// i's rate at hour h+1 (overriding Flows[i].Rate per hour).
+	Schedule [][]float64 `json:"schedule,omitempty"`
+}
+
+// FromWorkload converts a model workload into trace flows.
+func FromWorkload(w model.Workload) []Flow {
+	out := make([]Flow, len(w))
+	for i, f := range w {
+		out[i] = Flow{Src: f.Src, Dst: f.Dst, Rate: f.Rate}
+	}
+	return out
+}
+
+// Workload converts trace flows back into a model workload.
+func (tr *Trace) Workload() model.Workload {
+	w := make(model.Workload, len(tr.Flows))
+	for i, f := range tr.Flows {
+		w[i] = model.VMPair{Src: f.Src, Dst: f.Dst, Rate: f.Rate}
+	}
+	return w
+}
+
+// Validate checks internal consistency and, when d is non-nil, that the
+// flows fit the PPDC.
+func (tr *Trace) Validate(d *model.PPDC) error {
+	if tr.Version != FormatVersion {
+		return fmt.Errorf("trace: unsupported version %d (want %d)", tr.Version, FormatVersion)
+	}
+	for h, row := range tr.Schedule {
+		if len(row) != len(tr.Flows) {
+			return fmt.Errorf("trace: schedule hour %d has %d rates for %d flows", h+1, len(row), len(tr.Flows))
+		}
+		for i, r := range row {
+			if r < 0 {
+				return fmt.Errorf("trace: negative rate at hour %d flow %d", h+1, i)
+			}
+		}
+	}
+	if d != nil {
+		if err := tr.Workload().Validate(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes the trace as indented JSON.
+func Save(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// Load reads a trace and validates its shape (topology-independent
+// checks only; call Validate with a PPDC for full checking).
+func Load(r io.Reader) (*Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := tr.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}

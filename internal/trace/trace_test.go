@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	spec := TopoSpec{Kind: "fat-tree", K: 4}
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := workload.MustPairsClustered(topo, 25, 3, workload.DefaultIntraRack, rng)
+	sched, err := workload.PaperBurst().Schedule(topo, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{Version: FormatVersion, Topology: spec, Flows: FromWorkload(w), Schedule: sched}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != spec {
+		t.Fatalf("topology spec %+v", got.Topology)
+	}
+	w2 := got.Workload()
+	if len(w2) != len(w) {
+		t.Fatalf("flow count %d", len(w2))
+	}
+	for i := range w {
+		if w2[i] != w[i] {
+			t.Fatalf("flow %d: %+v vs %+v", i, w2[i], w[i])
+		}
+	}
+	for h := range sched {
+		for i := range sched[h] {
+			if got.Schedule[h][i] != sched[h][i] {
+				t.Fatalf("schedule differs at %d/%d", h, i)
+			}
+		}
+	}
+	// The rebuilt topology accepts the flows.
+	rebuilt, err := got.Topology.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.MustNew(rebuilt, model.Options{})
+	if err := got.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildEveryKind(t *testing.T) {
+	specs := []TopoSpec{
+		{Kind: "fat-tree", K: 4},
+		{Kind: "linear", Size: 5},
+		{Kind: "ring", Size: 6},
+		{Kind: "star", Size: 4},
+		{Kind: "mesh", Size: 10, Hosts: 6, Extra: 4, Seed: 3},
+		{Kind: "leaf-spine", Size: 4, Extra: 2, Hosts: 3},
+		{Kind: "jellyfish", Size: 12, Extra: 3, Hosts: 1, Seed: 5},
+		{Kind: "fat-tree", K: 4, Weighted: true, Seed: 9},
+	}
+	for _, s := range specs {
+		topo, err := s.Build()
+		if err != nil {
+			t.Errorf("%+v: %v", s, err)
+			continue
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%+v: %v", s, err)
+		}
+	}
+	if _, err := (TopoSpec{Kind: "nope"}).Build(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuildDeterministicForSeededKinds(t *testing.T) {
+	s := TopoSpec{Kind: "jellyfish", Size: 12, Extra: 3, Hosts: 1, Seed: 7}
+	a, _ := s.Build()
+	b, _ := s.Build()
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("seeded build not deterministic")
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"unknown field": `{"version":1,"topology":{"kind":"linear","size":3},"flows":[],"bogus":1}`,
+		"bad version":   `{"version":9,"topology":{"kind":"linear","size":3},"flows":[]}`,
+		"ragged sched":  `{"version":1,"topology":{"kind":"linear","size":3},"flows":[{"src":0,"dst":4,"rate":1}],"schedule":[[1,2]]}`,
+		"negative rate": `{"version":1,"topology":{"kind":"linear","size":3},"flows":[{"src":0,"dst":4,"rate":1}],"schedule":[[-1]]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestValidateAgainstPPDC(t *testing.T) {
+	spec := TopoSpec{Kind: "linear", Size: 3}
+	topo, _ := spec.Build()
+	d := model.MustNew(topo, model.Options{})
+	tr := &Trace{Version: 1, Topology: spec, Flows: []Flow{{Src: 1, Dst: 2, Rate: 5}}} // switches, not hosts
+	if err := tr.Validate(d); err == nil {
+		t.Fatal("switch endpoints accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package vmmig
+
+import (
+	"vnfopt/internal/model"
+)
+
+// PLAN is the greedy utility-driven VM migration of Cui et al. [17] as the
+// paper describes it: "PLAN migrates VMs to hosts with available resources
+// to maximize the utility, which is the reduction of the VM's
+// communication cost minus its migration cost." Each sweep offers every VM
+// its best positive-utility move (respecting host capacity); sweeps repeat
+// until no VM wants to move.
+type PLAN struct {
+	Opts Options
+}
+
+// Name implements VMMigrator.
+func (PLAN) Name() string { return "PLAN" }
+
+// Migrate implements VMMigrator.
+func (a PLAN) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Workload, float64, int, error) {
+	if err := checkInputs(d, w, sfc, p, mu); err != nil {
+		return nil, 0, 0, err
+	}
+	out := append(model.Workload(nil), w...)
+	occ := occupancy(d, out)
+	capHost := a.Opts.HostCapacity
+	sweeps := a.Opts.MaxSweeps
+	if sweeps <= 0 {
+		sweeps = 20
+	}
+
+	moves := 0
+	migCost := 0.0
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for fi := range out {
+			for _, e := range []endpoint{{fi, false}, {fi, true}} {
+				cur := e.host(out)
+				curCost := e.commCost(d, out, p, cur)
+				bestUtil := 0.0
+				bestHost := -1
+				var bestMig float64
+				for _, h := range d.Topo.Hosts {
+					if h == cur {
+						continue
+					}
+					if capHost > 0 && occ[h] >= capHost {
+						continue
+					}
+					mig := mu * d.APSP.Cost(cur, h)
+					util := curCost - e.commCost(d, out, p, h) - mig
+					if util > bestUtil+1e-12 {
+						bestUtil = util
+						bestHost = h
+						bestMig = mig
+					}
+				}
+				if bestHost >= 0 {
+					e.setHost(out, bestHost)
+					occ[cur]--
+					occ[bestHost]++
+					migCost += bestMig
+					moves++
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	total := migCost + d.CommCost(out, p)
+	return out, total, moves, nil
+}

@@ -1,0 +1,103 @@
+// Package vmmig implements the two VM-migration comparison baselines of
+// the paper's Section VI: PLAN (Cui et al. [17]) and MCF (Flores et
+// al. [24]). Both react to dynamic traffic by moving communicating *VMs*
+// between hosts while the VNF placement stays fixed — the foil against
+// which the paper shows VNF migration (mPareto) reduces more traffic with
+// fewer moves.
+//
+// Cost model: moving a VM from host a to host b generates μ·c(a,b) traffic
+// (containerised VMs and VNFs transfer comparable memory images, so the
+// paper's VNF migration coefficient μ applies), and the flow's
+// policy-preserving communication cost afterwards uses the new host.
+package vmmig
+
+import (
+	"fmt"
+
+	"vnfopt/internal/model"
+)
+
+// Options configure the baselines.
+type Options struct {
+	// HostCapacity caps the number of VMs a host may hold (PLAN's "hosts
+	// with available resources"; MCF's host-side arc capacity). 0 means
+	// uncapacitated.
+	HostCapacity int
+	// MaxSweeps caps PLAN's greedy improvement sweeps (0 = default 20).
+	MaxSweeps int
+	// CandidateHosts restricts MCF to the K cheapest destination hosts
+	// per VM (plus its current host); 0 = default 16. Keeps the flow
+	// network tractable at k=16 scale.
+	CandidateHosts int
+}
+
+// VMMigrator is one VM-migration baseline: given the fixed VNF placement p
+// and the new traffic vector, relocate VM endpoints to reduce total cost.
+type VMMigrator interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Migrate returns the workload with updated hosts, the total cost
+	// (VM migration traffic + resulting communication cost), and the
+	// number of VMs moved.
+	Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Workload, float64, int, error)
+}
+
+// endpoint identifies one VM: flow index plus which end it is.
+type endpoint struct {
+	flow int
+	dst  bool
+}
+
+// host returns the endpoint's current host in w.
+func (e endpoint) host(w model.Workload) int {
+	if e.dst {
+		return w[e.flow].Dst
+	}
+	return w[e.flow].Src
+}
+
+// setHost relocates the endpoint in w.
+func (e endpoint) setHost(w model.Workload, h int) {
+	if e.dst {
+		w[e.flow].Dst = h
+	} else {
+		w[e.flow].Src = h
+	}
+}
+
+// commCost returns the endpoint's location-dependent share of its flow's
+// communication cost: λ_i·c(h, p(1)) for a source, λ_i·c(p(n), h) for a
+// destination. The chain portion is independent of VM locations.
+func (e endpoint) commCost(d *model.PPDC, w model.Workload, p model.Placement, h int) float64 {
+	f := w[e.flow]
+	if e.dst {
+		return f.Rate * d.APSP.Cost(p[len(p)-1], h)
+	}
+	return f.Rate * d.APSP.Cost(h, p[0])
+}
+
+// occupancy counts VMs per host.
+func occupancy(d *model.PPDC, w model.Workload) map[int]int {
+	occ := make(map[int]int, len(d.Topo.Hosts))
+	for _, f := range w {
+		occ[f.Src]++
+		occ[f.Dst]++
+	}
+	return occ
+}
+
+func checkInputs(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) error {
+	if d == nil {
+		return fmt.Errorf("vmmig: nil PPDC")
+	}
+	if mu < 0 {
+		return fmt.Errorf("vmmig: negative migration coefficient %v", mu)
+	}
+	if err := w.Validate(d); err != nil {
+		return err
+	}
+	if err := p.Validate(d, sfc); err != nil {
+		return fmt.Errorf("vmmig: placement: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package vmmig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+func setup(t *testing.T, k, l int, seed int64) (*model.PPDC, model.Workload, model.SFC, model.Placement) {
+	t.Helper()
+	ft := topology.MustFatTree(k, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.MustPairs(ft, l, workload.DefaultIntraRack, rng)
+	sfc := model.NewSFC(3)
+	p, _, err := (placement.DP{}).Place(d, w, sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w, sfc, p
+}
+
+func baselines() []VMMigrator {
+	return []VMMigrator{PLAN{}, MCF{}}
+}
+
+func TestBaselinesImproveOrMatchStaying(t *testing.T) {
+	d, w, sfc, p := setup(t, 4, 12, 1)
+	rng := rand.New(rand.NewSource(2))
+	w2 := w.WithRates(workload.Rates(len(w), rng))
+	stay := d.CommCost(w2, p)
+	for _, b := range baselines() {
+		out, total, moves, err := b.Migrate(d, w2, sfc, p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if total > stay+1e-6 {
+			t.Errorf("%s: total %v worse than staying %v", b.Name(), total, stay)
+		}
+		if moves < 0 || len(out) != len(w2) {
+			t.Errorf("%s: moves=%d len=%d", b.Name(), moves, len(out))
+		}
+		if err := out.Validate(d); err != nil {
+			t.Errorf("%s: migrated workload invalid: %v", b.Name(), err)
+		}
+		// Rates must be preserved — only hosts move.
+		for i := range out {
+			if out[i].Rate != w2[i].Rate {
+				t.Errorf("%s: rate changed on flow %d", b.Name(), i)
+			}
+		}
+	}
+}
+
+func TestHugeMuFreezesVMs(t *testing.T) {
+	d, w, sfc, p := setup(t, 4, 10, 3)
+	rng := rand.New(rand.NewSource(4))
+	w2 := w.WithRates(workload.Rates(len(w), rng))
+	for _, b := range baselines() {
+		out, total, moves, err := b.Migrate(d, w2, sfc, p, 1e12)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if moves != 0 {
+			t.Errorf("%s: %d moves despite μ=1e12", b.Name(), moves)
+		}
+		if want := d.CommCost(w2, p); math.Abs(total-want) > 1e-6 {
+			t.Errorf("%s: total %v, want stay cost %v", b.Name(), total, want)
+		}
+		for i := range out {
+			if out[i] != w2[i] {
+				t.Errorf("%s: flow %d moved", b.Name(), i)
+			}
+		}
+	}
+}
+
+func TestZeroMuPullsVMsToVNFs(t *testing.T) {
+	// With free migration every VM should sit on a host at the minimum
+	// possible distance from its ingress/egress switch (hosts attach only
+	// to edge switches, so that minimum is 1, 2, or 3 hops depending on
+	// the VNF's tier).
+	d, w, sfc, p := setup(t, 4, 8, 5)
+	minTo := func(s int) float64 {
+		best := math.Inf(1)
+		for _, h := range d.Topo.Hosts {
+			if c := d.APSP.Cost(h, s); c < best {
+				best = c
+			}
+		}
+		return best
+	}
+	minIn, minEg := minTo(p[0]), minTo(p[len(p)-1])
+	for _, b := range baselines() {
+		out, _, _, err := b.Migrate(d, w, sfc, p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		for i, f := range out {
+			if c := d.APSP.Cost(f.Src, p[0]); f.Rate > 0 && c > minIn {
+				t.Errorf("%s: flow %d src %v hops from ingress, min is %v", b.Name(), i, c, minIn)
+			}
+			if c := d.APSP.Cost(p[len(p)-1], f.Dst); f.Rate > 0 && c > minEg {
+				t.Errorf("%s: flow %d dst %v hops from egress, min is %v", b.Name(), i, c, minEg)
+			}
+		}
+	}
+}
+
+func TestHostCapacityRespected(t *testing.T) {
+	d, w, sfc, p := setup(t, 4, 12, 7)
+	const capHost = 3
+	for _, b := range []VMMigrator{PLAN{Opts: Options{HostCapacity: capHost}}, MCF{Opts: Options{HostCapacity: capHost}}} {
+		out, _, _, err := b.Migrate(d, w, sfc, p, 0)
+		if err != nil {
+			// MCF errors out when initial occupancy already violates
+			// capacity; that is acceptable behaviour — skip.
+			t.Logf("%s: %v", b.Name(), err)
+			continue
+		}
+		occ := occupancy(d, out)
+		initial := occupancy(d, w)
+		for h, n := range occ {
+			// A host may stay above capacity only if it started there
+			// (we never force evictions).
+			if n > capHost && n > initial[h] {
+				t.Errorf("%s: host %d grew to %d VMs (cap %d, initial %d)", b.Name(), h, n, capHost, initial[h])
+			}
+		}
+	}
+}
+
+func TestMCFAtLeastAsGoodAsPLANUncapacitated(t *testing.T) {
+	// Uncapacitated, MCF solves each VM's relocation exactly, so it
+	// cannot lose to PLAN's greedy (both pay migration from the original
+	// host; PLAN may also pay for multi-hop repositioning).
+	d, w, sfc, p := setup(t, 4, 15, 9)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 4; trial++ {
+		w2 := w.WithRates(workload.Rates(len(w), rng))
+		_, planCost, _, err := (PLAN{}).Migrate(d, w2, sfc, p, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mcfCost, _, err := (MCF{}).Migrate(d, w2, sfc, p, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mcfCost > planCost+1e-6 {
+			t.Fatalf("trial %d: MCF %v worse than PLAN %v", trial, mcfCost, planCost)
+		}
+	}
+}
+
+func TestMCFEmptyWorkload(t *testing.T) {
+	ft := topology.MustFatTree(2, nil)
+	d := model.MustNew(ft, model.Options{})
+	p := model.Placement{d.Topo.Switches[0], d.Topo.Switches[1]}
+	out, total, moves, err := (MCF{}).Migrate(d, model.Workload{}, model.NewSFC(2), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || total != 0 || moves != 0 {
+		t.Fatalf("out=%v total=%v moves=%d", out, total, moves)
+	}
+}
+
+func TestCheckInputs(t *testing.T) {
+	d, w, sfc, p := setup(t, 2, 2, 11)
+	for _, b := range baselines() {
+		if _, _, _, err := b.Migrate(nil, w, sfc, p, 1); err == nil {
+			t.Fatalf("%s: nil PPDC accepted", b.Name())
+		}
+		if _, _, _, err := b.Migrate(d, w, sfc, p, -1); err == nil {
+			t.Fatalf("%s: negative mu accepted", b.Name())
+		}
+		if _, _, _, err := b.Migrate(d, w, sfc, model.Placement{-1, -2, -3}, 1); err == nil {
+			t.Fatalf("%s: invalid placement accepted", b.Name())
+		}
+	}
+}
+
+func TestEndpointHelpers(t *testing.T) {
+	w := model.Workload{{Src: 3, Dst: 5, Rate: 2}}
+	e := endpoint{0, false}
+	if e.host(w) != 3 {
+		t.Fatal("src host")
+	}
+	e.setHost(w, 7)
+	if w[0].Src != 7 {
+		t.Fatal("setHost src")
+	}
+	ed := endpoint{0, true}
+	if ed.host(w) != 5 {
+		t.Fatal("dst host")
+	}
+	ed.setHost(w, 9)
+	if w[0].Dst != 9 {
+		t.Fatal("setHost dst")
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+func TestPaperBurstValid(t *testing.T) {
+	if err := PaperBurst().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstValidateErrors(t *testing.T) {
+	for _, m := range []BurstModel{
+		{Diurnal: Diurnal{N: 0}},
+		{Diurnal: PaperDiurnal(), Width: 0, Floor: 0.1},
+		{Diurnal: PaperDiurnal(), Width: 2, Floor: -0.1},
+		{Diurnal: PaperDiurnal(), Width: 2, Floor: 1.5},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestBurstBumpShape(t *testing.T) {
+	m := BurstModel{Diurnal: PaperDiurnal(), Width: 3, Floor: 0.1}
+	if b := m.bump(6, 6); b != 1 {
+		t.Fatalf("peak bump = %v", b)
+	}
+	if b := m.bump(9, 6); b != 0.1 {
+		t.Fatalf("off-peak bump = %v, want floor", b)
+	}
+	if b := m.bump(3, 6); b != 0.1 {
+		t.Fatalf("symmetric off-peak bump = %v", b)
+	}
+	mid := m.bump(7, 6)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("shoulder bump = %v, want in (0.1, 1)", mid)
+	}
+	if m.bump(5, 6) != mid {
+		t.Fatal("bump not symmetric")
+	}
+}
+
+func TestScheduleDimensionsAndRange(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	rng := rand.New(rand.NewSource(2))
+	w := MustPairsClustered(ft, 40, 4, DefaultIntraRack, rng)
+	m := PaperBurst()
+	sched, err := m.Schedule(ft, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != m.Diurnal.Horizon() {
+		t.Fatalf("hours = %d, want %d", len(sched), m.Diurnal.Horizon())
+	}
+	for h, row := range sched {
+		if len(row) != len(w) {
+			t.Fatalf("hour %d has %d rates", h, len(row))
+		}
+		for i, r := range row {
+			if r < 0 || r > RateMax {
+				t.Fatalf("hour %d flow %d rate %v outside [0,%d]", h, i, r, RateMax)
+			}
+		}
+	}
+	// The final horizon hour (h = N + shift) must be silent: east coast
+	// is past its day and west coast hits τ_N = 0.
+	last := sched[len(sched)-1]
+	for i, r := range last {
+		if r != 0 {
+			t.Fatalf("flow %d still active at horizon: %v", i, r)
+		}
+	}
+}
+
+func TestScheduleRackCoherence(t *testing.T) {
+	// Flows in the same rack share a peak: their rates across the day
+	// must be maximal at the same hour (up to amplitude scaling).
+	ft := topology.MustFatTree(4, nil)
+	rng := rand.New(rand.NewSource(5))
+	rack := ft.Racks[3]
+	w := model.Workload{
+		{Src: rack[0], Dst: rack[1], Rate: 1},
+		{Src: rack[1], Dst: rack[0], Rate: 1},
+	}
+	m := PaperBurst()
+	sched, err := m.Schedule(ft, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmax := func(flow int) int {
+		best, bh := -1.0, -1
+		for h := range sched {
+			if sched[h][flow] > best {
+				best = sched[h][flow]
+				bh = h
+			}
+		}
+		return bh
+	}
+	if argmax(0) != argmax(1) {
+		t.Fatalf("same-rack flows peak at different hours: %d vs %d", argmax(0), argmax(1))
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	w := MustPairsClustered(ft, 20, 3, DefaultIntraRack, rand.New(rand.NewSource(7)))
+	m := PaperBurst()
+	a, err := m.Schedule(ft, w, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Schedule(ft, w, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range a {
+		for i := range a[h] {
+			if a[h][i] != b[h][i] {
+				t.Fatalf("schedule differs at hour %d flow %d", h, i)
+			}
+		}
+	}
+}
+
+func TestSpreadPeaksCoverTheDay(t *testing.T) {
+	// With SpreadPeaks, tenant racks should peak at well-separated hours.
+	ft := topology.MustFatTree(8, nil)
+	rng := rand.New(rand.NewSource(11))
+	w := MustPairsClustered(ft, 200, 6, 1.0, rng) // all intra-rack
+	m := PaperBurst()
+	sched, err := m.Schedule(ft, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify each flow's peak hour; count distinct peaks across racks.
+	rackOf := map[int]int{}
+	for r, hosts := range ft.Racks {
+		for _, h := range hosts {
+			rackOf[h] = r
+		}
+	}
+	peaks := map[int]map[int]bool{} // rack -> set of peak hours
+	for i, f := range w {
+		best, bh := -1.0, -1
+		for h := range sched {
+			if sched[h][i] > best {
+				best = sched[h][i]
+				bh = h
+			}
+		}
+		r := rackOf[f.Src]
+		if peaks[r] == nil {
+			peaks[r] = map[int]bool{}
+		}
+		peaks[r][bh] = true
+	}
+	distinct := map[int]bool{}
+	for _, hs := range peaks {
+		for h := range hs {
+			distinct[h] = true
+		}
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("tenant peaks cover only %d distinct hours", len(distinct))
+	}
+}
+
+func TestPairsClusteredConcentration(t *testing.T) {
+	ft := topology.MustFatTree(8, nil)
+	rng := rand.New(rand.NewSource(13))
+	w := MustPairsClustered(ft, 500, 5, DefaultIntraRack, rng)
+	rackOf := map[int]int{}
+	for r, hosts := range ft.Racks {
+		for _, h := range hosts {
+			rackOf[h] = r
+		}
+	}
+	racks := map[int]bool{}
+	for _, f := range w {
+		racks[rackOf[f.Src]] = true
+		racks[rackOf[f.Dst]] = true
+	}
+	if len(racks) > 5 {
+		t.Fatalf("flows touch %d racks, want ≤ 5", len(racks))
+	}
+}
+
+func TestPairsClusteredErrors(t *testing.T) {
+	ft := topology.MustFatTree(2, nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PairsClustered(ft, -1, 2, 0.8, rng); err == nil {
+		t.Fatal("negative l accepted")
+	}
+	if _, err := PairsClustered(ft, 5, 0, 0.8, rng); err == nil {
+		t.Fatal("zero racks accepted")
+	}
+	if _, err := PairsClustered(ft, 5, 2, 1.2, rng); err == nil {
+		t.Fatal("bad fraction accepted")
+	}
+	rackless := &topology.Topology{Name: "rackless"}
+	if _, err := PairsClustered(rackless, 5, 2, 0.8, rng); err == nil {
+		t.Fatal("rackless topology accepted")
+	}
+	// More tenant racks than exist: clamps, no error.
+	w, err := PairsClustered(ft, 5, 99, 0.8, rng)
+	if err != nil || len(w) != 5 {
+		t.Fatalf("clamp failed: %v %d", err, len(w))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPairsClustered should panic")
+		}
+	}()
+	MustPairsClustered(ft, -1, 2, 0.8, rng)
+}
+
+func TestPairsClusteredValidWorkload(t *testing.T) {
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	w := MustPairsClustered(ft, 100, 3, DefaultIntraRack, rand.New(rand.NewSource(3)))
+	if err := w.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
