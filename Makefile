@@ -1,0 +1,38 @@
+# Developer entry points. `make check` is the tier-1 gate plus static
+# analysis and the race detector; CI and pre-commit should run it. The
+# race run matters here: the parallel APSP build fans Dijkstra sources
+# across goroutines writing disjoint row ranges, and -race proves the
+# ranges really are disjoint on every topology the tests touch.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-kernels fuzz
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full figure/ablation benchmark sweep (minutes).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Just the performance-kernel benchmarks behind results/BENCH_apsp.json.
+bench-kernels:
+	$(GO) test -bench 'BenchmarkAllPairs|BenchmarkDijkstra' -benchmem -run xxx ./internal/graph/
+	$(GO) test -bench 'BenchmarkAPSPFatTree|BenchmarkCommCostAggregated' -benchmem -run xxx .
+
+# Short fuzz pass over the solver-invariant web and the cost-kernel
+# equivalence property.
+fuzz:
+	$(GO) test -fuzz FuzzCostCacheEquivalence -fuzztime 30s -run xxx ./internal/differential/
+	$(GO) test -fuzz FuzzDifferential -fuzztime 30s -run xxx ./internal/differential/

@@ -338,14 +338,79 @@ func BenchmarkAblationILPPathAssumption(b *testing.B) {
 // --- Micro-benchmarks of the hot paths -----------------------------------
 
 // BenchmarkAPSPFatTree measures the all-pairs shortest-path cache build,
-// the per-topology fixed cost of every solver.
+// the per-topology fixed cost of every solver, comparing the sequential
+// [][]Edge oracle against the CSR kernel at one worker and at GOMAXPROCS
+// (the default used by model.New). Output is bit-identical across all
+// three (asserted in internal/graph tests); only time and allocations
+// differ.
 func BenchmarkAPSPFatTree(b *testing.B) {
 	for _, k := range []int{4, 8, 16} {
-		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
-			ft := topology.MustFatTree(k, nil)
-			b.ResetTimer()
+		ft := topology.MustFatTree(k, nil)
+		b.Run("k="+strconv.Itoa(k)+"/sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph.AllPairsSequential(ft.Graph)
+			}
+		})
+		b.Run("k="+strconv.Itoa(k)+"/csr-1worker", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph.AllPairsWorkers(ft.Graph, 1)
+			}
+		})
+		b.Run("k="+strconv.Itoa(k)+"/parallel", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				graph.AllPairs(ft.Graph)
+			}
+		})
+	}
+}
+
+// BenchmarkCommCostAggregated is the candidate-evaluation half of the
+// kernel work: scalar C_a rescans all l flows per placement; the
+// aggregated workload cache answers in O(n). At l = 10⁴ the gap is the
+// difference between TOP solvers that evaluate thousands of candidates
+// being workload-bound or topology-bound. "cache-build" prices the
+// one-time aggregation (also the SetWorkload rate-update hook).
+func BenchmarkCommCostAggregated(b *testing.B) {
+	for _, tc := range []struct{ k, l int }{{8, 10_000}, {16, 10_000}} {
+		ft := topology.MustFatTree(tc.k, nil)
+		d := model.MustNew(ft, model.Options{})
+		rng := rand.New(rand.NewSource(3))
+		w := workload.MustPairsClustered(ft, tc.l, 8, workload.DefaultIntraRack, rng)
+		sfc := model.NewSFC(5)
+		p, _, err := (placement.Steering{}).Place(d, w, sfc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prefix := "k=" + strconv.Itoa(tc.k) + "/l=" + strconv.Itoa(tc.l)
+		b.Run(prefix+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = d.CommCost(w, p)
+			}
+		})
+		b.Run(prefix+"/cached", func(b *testing.B) {
+			cache := d.NewWorkloadCache(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = cache.CommCost(p)
+			}
+		})
+		b.Run(prefix+"/cache-build", func(b *testing.B) {
+			cache := d.NewWorkloadCache(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache.SetWorkload(w)
+			}
+		})
+		b.Run(prefix+"/endpoint-scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = d.EndpointCosts(w)
 			}
 		})
 	}

@@ -1,0 +1,129 @@
+package differential
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// fuzzTopology materializes one of several topology families from fuzzed
+// bytes, so the cache equivalence is exercised on fat trees, leaf-spine
+// Clos fabrics, rings, and random meshes alike.
+func fuzzTopology(kind uint8, rng *rand.Rand) *topology.Topology {
+	switch kind % 4 {
+	case 0:
+		return topology.MustFatTree(4, nil)
+	case 1:
+		t, err := topology.LeafSpine(4, 2, 4, topology.PaperDelay(rng))
+		if err != nil {
+			panic(err)
+		}
+		return t
+	case 2:
+		t, err := topology.Ring(8, nil)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	default:
+		t, err := topology.RandomMesh(10, 20, 8, topology.PaperDelay(rng), rng)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+}
+
+func randomCachePlacement(d *model.PPDC, n int, rng *rand.Rand) model.Placement {
+	sw := d.Switches()
+	perm := rng.Perm(len(sw))
+	p := make(model.Placement, n)
+	for j := range p {
+		p[j] = sw[perm[j%len(sw)]]
+	}
+	return p
+}
+
+// FuzzCostCacheEquivalence asserts aggregated-cache C_a ≡ scalar C_a (to
+// reassociation tolerance) across random topologies, workloads, random
+// placements, and repeated rate mutations through the SetWorkload
+// invalidation hook. Any divergence is a real kernel bug: the cache and
+// the oracle sum exactly the same λ·c terms.
+// Run with `go test -fuzz=FuzzCostCacheEquivalence ./internal/differential`.
+func FuzzCostCacheEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(12), uint8(3), uint8(4))
+	f.Add(int64(7), uint8(1), uint8(40), uint8(1), uint8(2))
+	f.Add(int64(-3), uint8(2), uint8(5), uint8(5), uint8(0))
+	f.Add(int64(99), uint8(3), uint8(25), uint8(2), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, topoKind, lRaw, nRaw, mutations uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		topo := fuzzTopology(topoKind, rng)
+		d := model.MustNew(topo, model.Options{AllowColocation: topoKind%2 == 1})
+		l := 1 + int(lRaw)%60
+		n := 1 + int(nRaw)%5
+		if n > len(d.Switches()) {
+			n = len(d.Switches())
+		}
+		w := workload.MustPairs(topo, l, 0.5, rng)
+
+		cache := d.NewWorkloadCache(w)
+		rounds := 1 + int(mutations)%8
+		for round := 0; round < rounds; round++ {
+			in, eg := cache.EndpointCosts()
+			inS, egS := d.EndpointCosts(w)
+			for v := range in {
+				if !closeRel(in[v], inS[v]) || !closeRel(eg[v], egS[v]) {
+					t.Fatalf("round %d: endpoint vectors diverge at vertex %d: (%v,%v) vs (%v,%v)",
+						round, v, in[v], eg[v], inS[v], egS[v])
+				}
+			}
+			if got, want := cache.CommCost(nil), d.CommCost(w, nil); !closeRel(got, want) {
+				t.Fatalf("round %d: direct C_a %v vs scalar %v", round, got, want)
+			}
+			for trial := 0; trial < 10; trial++ {
+				p := randomCachePlacement(d, n, rng)
+				if got, want := cache.CommCost(p), d.CommCost(w, p); !closeRel(got, want) {
+					t.Fatalf("round %d: C_a(%v) = %v, scalar %v", round, p, got, want)
+				}
+				m := randomCachePlacement(d, n, rng)
+				mu := float64(rng.Intn(100_000))
+				if got, want := cache.TotalCost(p, m, mu), d.TotalCost(w, p, m, mu); !closeRel(got, want) {
+					t.Fatalf("round %d: C_t %v, scalar %v", round, got, want)
+				}
+			}
+			// Mutate rates (occasionally zeroing some flows out entirely)
+			// and push them through the invalidation hook.
+			w = w.WithRates(workload.Rates(len(w), rng))
+			if rng.Intn(3) == 0 {
+				w[rng.Intn(len(w))].Rate = 0
+			}
+			cache.SetWorkload(w)
+		}
+	})
+}
+
+// TestCostCacheEquivalenceCorpus runs the fuzz body over a deterministic
+// seed sweep so the property is enforced by plain `go test` as well.
+func TestCostCacheEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		topo := fuzzTopology(uint8(seed), rng)
+		d := model.MustNew(topo, model.Options{})
+		w := workload.MustPairs(topo, 3+int(seed)*2, 0.5, rng)
+		cache := d.NewWorkloadCache(w)
+		for round := 0; round < 4; round++ {
+			for trial := 0; trial < 8; trial++ {
+				p := randomCachePlacement(d, 1+rng.Intn(4), rng)
+				if got, want := cache.CommCost(p), d.CommCost(w, p); !closeRel(got, want) {
+					t.Fatalf("seed %d round %d: C_a(%v) = %v, scalar %v", seed, round, p, got, want)
+				}
+			}
+			w = w.WithRates(workload.Rates(len(w), rng))
+			cache.SetWorkload(w)
+		}
+	}
+}

@@ -7,6 +7,9 @@
 //	TOM:  Optimal ≤ {mPareto, LayeredDP, surrogate} ≤ NoMigration;
 //	      LayeredDP's unconstrained bound ≤ Optimal;
 //	      every reported C_t matches the model evaluation.
+//	Kernels: the aggregated workload cost cache ≡ the scalar cost oracle
+//	      on every placement any solver produces, across the w1 → w2
+//	      rate-shift rebuild (see also FuzzCostCacheEquivalence).
 //
 // One call = one differential test case; the integration test and the
 // fuzz harness both drive it.
@@ -14,6 +17,7 @@ package differential
 
 import (
 	"fmt"
+	"math"
 
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
@@ -41,6 +45,14 @@ type Options struct {
 
 const tol = 1e-6
 
+// closeRel is the reassociation-tolerance equivalence for the aggregated
+// cost cache: it sums the same terms as the scalar oracle in a different
+// order, so agreement is to ULP-accumulation scale, not exact.
+func closeRel(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
 // Run executes the full cross-check. w1 drives placement; w2 (the
 // shifted rates) drives migration. It returns an error naming the first
 // violated invariant.
@@ -49,6 +61,20 @@ func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Re
 		PlacementCosts: map[string]float64{},
 		MigrationCosts: map[string]float64{},
 		OptimalProven:  true,
+	}
+
+	// --- cost-kernel equivalence ------------------------------------
+	// The aggregated workload cache must agree with the scalar cost
+	// oracle on every placement any solver produces below; checkCache is
+	// woven into both halves.
+	cache1 := d.NewWorkloadCache(w1)
+	checkCache := func(cache *model.WorkloadCache, w model.Workload, p model.Placement, who string) error {
+		scalar := d.CommCost(w, p)
+		if got := cache.CommCost(p); !closeRel(got, scalar) {
+			return fmt.Errorf("differential: aggregated C_a %v diverges from scalar %v on %s placement %v",
+				got, scalar, who, p)
+		}
+		return nil
 	}
 
 	// --- TOP ---------------------------------------------------------
@@ -68,6 +94,9 @@ func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Re
 		}
 		if got := d.CommCost(w1, p); got > c+tol || got < c-tol {
 			return nil, fmt.Errorf("differential: %s reported %v but evaluates to %v", s.Name(), c, got)
+		}
+		if err := checkCache(cache1, w1, p, s.Name()); err != nil {
+			return nil, err
 		}
 		rep.PlacementCosts[s.Name()] = c
 	}
@@ -97,6 +126,12 @@ func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Re
 		return nil, err
 	}
 	stay := d.CommCost(w2, pInit)
+	// Rate shift w1 → w2 goes through the cache's invalidation hook, so
+	// the TOM half also exercises the dynamic-rates rebuild path.
+	cache1.SetWorkload(w2)
+	if err := checkCache(cache1, w2, pInit, "post-rate-shift initial"); err != nil {
+		return nil, err
+	}
 	migs := []migration.Migrator{
 		migration.MPareto{},
 		migration.LayeredDP{},
@@ -114,6 +149,9 @@ func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Re
 		}
 		if got := d.TotalCost(w2, pInit, m, opts.Mu); got > ct+tol || got < ct-tol {
 			return nil, fmt.Errorf("differential: %s reported C_t %v but evaluates to %v", mg.Name(), ct, got)
+		}
+		if err := checkCache(cache1, w2, m, mg.Name()); err != nil {
+			return nil, err
 		}
 		if ct > stay+tol && mg.Name() != "NoMigration" {
 			return nil, fmt.Errorf("differential: %s C_t %v worse than staying %v", mg.Name(), ct, stay)

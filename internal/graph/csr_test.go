@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCSRDijkstraBitIdentical: the CSR kernel must reproduce
+// Graph.Dijkstra bit-for-bit (same relaxation order, same float ops), not
+// merely within tolerance.
+func TestCSRDijkstraBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		csr := g.Freeze()
+		var scratch SSSPScratch
+		dist := make([]float64, n)
+		prev := make([]int32, n)
+		for src := 0; src < n; src++ {
+			wantDist, wantPrev := g.Dijkstra(src)
+			csr.DijkstraInto(src, dist, prev, &scratch)
+			for v := 0; v < n; v++ {
+				if dist[v] != wantDist[v] {
+					t.Fatalf("trial %d src %d: dist[%d] = %v, oracle %v", trial, src, v, dist[v], wantDist[v])
+				}
+				if int(prev[v]) != wantPrev[v] {
+					t.Fatalf("trial %d src %d: prev[%d] = %d, oracle %d", trial, src, v, prev[v], wantPrev[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCSRSnapshotIsFrozen: edges added after Freeze are invisible to the
+// snapshot.
+func TestCSRSnapshotIsFrozen(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	csr := g.Freeze()
+	g.AddEdge(1, 2, 1)
+	dist, _ := csr.Dijkstra(0)
+	if dist[1] != 5 || !math.IsInf(dist[2], 1) {
+		t.Fatalf("snapshot leaked later edges: dist = %v", dist)
+	}
+	// The live graph sees the new edge.
+	liveDist, _ := g.Dijkstra(0)
+	if liveDist[2] != 6 {
+		t.Fatalf("live graph dist[2] = %v", liveDist[2])
+	}
+}
+
+// TestCSRDisconnectedAndTrivial covers the empty-row and single-vertex
+// paths of the kernel.
+func TestCSRDisconnectedAndTrivial(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	// vertices 2 and 3 are isolated
+	csr := g.Freeze()
+	dist, prev := csr.Dijkstra(2)
+	if dist[2] != 0 || prev[2] != -1 {
+		t.Fatalf("self row wrong: %v %v", dist[2], prev[2])
+	}
+	for _, v := range []int{0, 1, 3} {
+		if !math.IsInf(dist[v], 1) || prev[v] != -1 {
+			t.Fatalf("isolated source reached %d: %v %v", v, dist[v], prev[v])
+		}
+	}
+
+	one := New(1).Freeze()
+	d1, p1 := one.Dijkstra(0)
+	if d1[0] != 0 || p1[0] != -1 {
+		t.Fatalf("order-1 graph: %v %v", d1, p1)
+	}
+}
+
+// TestAllPairsParallelBitIdentical: the acceptance gate of the parallel
+// APSP — dist and prev matrices byte-identical to the sequential oracle at
+// several worker counts, including workers > |V|.
+func TestAllPairsParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(80)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		want := AllPairsSequential(g)
+		for _, workers := range []int{0, 1, 2, 3, 7, n + 13} {
+			got := AllPairsWorkers(g, workers)
+			if got.n != want.n {
+				t.Fatalf("order mismatch %d vs %d", got.n, want.n)
+			}
+			for i := range want.dist {
+				if got.dist[i] != want.dist[i] {
+					t.Fatalf("trial %d workers %d: dist[%d] = %v, oracle %v",
+						trial, workers, i, got.dist[i], want.dist[i])
+				}
+				if got.prev[i] != want.prev[i] {
+					t.Fatalf("trial %d workers %d: prev[%d] = %d, oracle %d",
+						trial, workers, i, got.prev[i], want.prev[i])
+				}
+			}
+		}
+	}
+}

@@ -39,7 +39,7 @@ func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC
 		return nil, 0, false, err
 	}
 	n := sfc.Len()
-	in, eg := d.EndpointCosts(w)
+	in, eg := d.NewWorkloadCache(w).EndpointCosts()
 	lambda := w.TotalRate()
 	sw := d.Topo.Switches
 

@@ -40,7 +40,7 @@ func FullFrontiers(d *model.PPDC, w model.Workload, sfc model.SFC, p, pNew model
 			paths[j] = []int{p[j]}
 		}
 	}
-	in, eg := d.EndpointCosts(w)
+	in, eg := d.NewWorkloadCache(w).EndpointCosts()
 	lambda := w.TotalRate()
 
 	idx := make([]int, n) // current position along each path

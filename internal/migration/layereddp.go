@@ -50,8 +50,9 @@ func (LayeredDP) MigrateBound(d *model.PPDC, w model.Workload, sfc model.SFC, p 
 	}
 	n := sfc.Len()
 	sw := d.Topo.Switches
-	in, eg := d.EndpointCosts(w)
-	lambda := w.TotalRate()
+	cache := d.NewWorkloadCache(w)
+	in, eg := cache.EndpointCosts()
+	lambda := cache.TotalRate()
 
 	// cost[j][i]: best cost of layers 0..j with f_{j+1} on switch sw[i].
 	cost := make([][]float64, n)
@@ -95,7 +96,7 @@ func (LayeredDP) MigrateBound(d *model.PPDC, w model.Workload, sfc model.SFC, p 
 	bound := best
 
 	if d.SwitchCap() > 0 {
-		repairOverflows(d, w, sfc, p, m, mu)
+		repairOverflows(d, cache, p, m, mu)
 	}
 	return m, bound, nil
 }
@@ -103,11 +104,12 @@ func (LayeredDP) MigrateBound(d *model.PPDC, w model.Workload, sfc model.SFC, p 
 // repairOverflows resolves per-switch capacity violations in m in place:
 // for each VNF that overflows its switch, pick the switch with remaining
 // capacity minimizing the local change in C_t (migration term plus the
-// two adjacent chain edges and any endpoint term).
-func repairOverflows(d *model.PPDC, w model.Workload, sfc model.SFC, p, m model.Placement, mu float64) {
+// two adjacent chain edges and any endpoint term). It reuses the caller's
+// workload cache rather than re-deriving the endpoint vectors.
+func repairOverflows(d *model.PPDC, cache *model.WorkloadCache, p, m model.Placement, mu float64) {
 	n := len(m)
-	in, eg := d.EndpointCosts(w)
-	lambda := w.TotalRate()
+	in, eg := cache.EndpointCosts()
+	lambda := cache.TotalRate()
 	used := make(map[int]int, n)
 	for j := 0; j < n; j++ {
 		if d.CapFits(used, m[j]) {

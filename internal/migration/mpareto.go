@@ -93,7 +93,7 @@ func ParallelFrontiers(d *model.PPDC, w model.Workload, sfc model.SFC, p, pNew m
 			hmax = len(paths[j])
 		}
 	}
-	in, eg := d.EndpointCosts(w)
+	in, eg := d.NewWorkloadCache(w).EndpointCosts()
 	lambda := w.TotalRate()
 
 	points := make([]FrontierPoint, 0, hmax)

@@ -32,7 +32,7 @@ func (r Refined) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model
 		return nil, 0, err
 	}
 	m = m.Clone()
-	in, eg := d.EndpointCosts(w)
+	in, eg := d.NewWorkloadCache(w).EndpointCosts()
 	lambda := w.TotalRate()
 	n := len(m)
 	used := make(map[int]int, n)

@@ -1,0 +1,146 @@
+package model
+
+// WorkloadCache is the aggregated-workload fast path of the cost model.
+// The scalar oracles (CommCost, EndpointCosts) re-scan all l flows per
+// query; at data-center scale l dwarfs the number of distinct hosts, so
+// the cache collapses the workload once:
+//
+//   - VM pairs are grouped by (source host, dest host) with λ summed, so
+//     the no-SFC direct cost is Σ over distinct pairs instead of flows;
+//   - per-host λ marginals (by source, by dest) feed the traffic-weighted
+//     per-switch ingress/egress vectors
+//     ingress[v] = Σ_s λ(s)·c(s,v), egress[v] = Σ_t λ(t)·c(v,t),
+//     built in O(H·|V|) instead of EndpointCosts' O(l·|V|).
+//
+// After the one-time build, CommCost(p) is
+// Λ·chain(p) + ingress[p(1)] + egress[p(n)] — O(n) per candidate
+// placement with no dependence on l. Solvers evaluating thousands of
+// candidates (DP pruning sweeps, annealing, layered DP, frontier scans)
+// query the cache; the scalar oracles remain the differential reference
+// (equivalence is fuzz-tested to float-reassociation tolerance).
+//
+// All aggregation runs in first-appearance order of the workload slice,
+// so rebuilt caches are deterministic: identical workloads produce
+// bit-identical vectors regardless of map iteration order.
+//
+// The cache snapshots the workload. When rates move — the TOM
+// dynamic-rates path mutates λ every simulated hour — call SetWorkload
+// with the updated workload to invalidate and rebuild (O(l + H·|V|)).
+type WorkloadCache struct {
+	d *PPDC
+	// pairs is the (src,dst)-aggregated workload; its Rate fields hold the
+	// summed λ of all flows sharing that host pair.
+	pairs Workload
+	// ingress[v] = Σ_i λ_i c(s_i, v); egress[v] = Σ_i λ_i c(v, t_i),
+	// aggregated per distinct source/dest host.
+	ingress, egress []float64
+	totalRate       float64
+	// direct is C_a of the empty placement: Σ λ c(s,t).
+	direct float64
+}
+
+// NewWorkloadCache builds the aggregated cost cache for w.
+func (d *PPDC) NewWorkloadCache(w Workload) *WorkloadCache {
+	c := &WorkloadCache{d: d}
+	c.SetWorkload(w)
+	return c
+}
+
+// SetWorkload is the invalidation hook: it discards every aggregate and
+// rebuilds from w. Call it whenever rates change (e.g. each hour of a
+// dynamic-rates simulation); the endpoints may change too — the cache
+// makes no assumption that w matches the previous workload's host pairs.
+func (c *WorkloadCache) SetWorkload(w Workload) {
+	n := c.d.Topo.Graph.Order()
+	// Group flows by (src, dst) host pair, first-appearance order.
+	pairIdx := make(map[[2]int]int, len(w))
+	c.pairs = c.pairs[:0]
+	for _, f := range w {
+		if f.Rate == 0 {
+			continue
+		}
+		key := [2]int{f.Src, f.Dst}
+		if i, ok := pairIdx[key]; ok {
+			c.pairs[i].Rate += f.Rate
+		} else {
+			pairIdx[key] = len(c.pairs)
+			c.pairs = append(c.pairs, f)
+		}
+	}
+	// Per-host λ marginals, first-appearance order.
+	type hostRate struct {
+		host int
+		rate float64
+	}
+	var srcs, dsts []hostRate
+	srcIdx := make(map[int]int)
+	dstIdx := make(map[int]int)
+	c.totalRate, c.direct = 0, 0
+	for _, f := range c.pairs {
+		c.totalRate += f.Rate
+		c.direct += f.Rate * c.d.APSP.Cost(f.Src, f.Dst)
+		if i, ok := srcIdx[f.Src]; ok {
+			srcs[i].rate += f.Rate
+		} else {
+			srcIdx[f.Src] = len(srcs)
+			srcs = append(srcs, hostRate{f.Src, f.Rate})
+		}
+		if i, ok := dstIdx[f.Dst]; ok {
+			dsts[i].rate += f.Rate
+		} else {
+			dstIdx[f.Dst] = len(dsts)
+			dsts = append(dsts, hostRate{f.Dst, f.Rate})
+		}
+	}
+	if c.ingress == nil || len(c.ingress) != n {
+		c.ingress = make([]float64, n)
+		c.egress = make([]float64, n)
+	} else {
+		for v := range c.ingress {
+			c.ingress[v], c.egress[v] = 0, 0
+		}
+	}
+	for _, s := range srcs {
+		row := c.d.APSP.Row(s.host)
+		for v := 0; v < n; v++ {
+			c.ingress[v] += s.rate * row[v]
+		}
+	}
+	for _, t := range dsts {
+		// Undirected PPDC: c(v, t) = c(t, v), so one contiguous row serves
+		// the egress sweep too.
+		row := c.d.APSP.Row(t.host)
+		for v := 0; v < n; v++ {
+			c.egress[v] += t.rate * row[v]
+		}
+	}
+}
+
+// EndpointCosts returns the aggregated per-vertex ingress/egress vectors.
+// The slices are owned by the cache and are invalidated by SetWorkload;
+// callers must not mutate or retain them across rebuilds.
+func (c *WorkloadCache) EndpointCosts() (ingress, egress []float64) {
+	return c.ingress, c.egress
+}
+
+// TotalRate returns Λ = Σ λ_i.
+func (c *WorkloadCache) TotalRate() float64 { return c.totalRate }
+
+// Aggregated returns the (src,dst)-grouped workload with summed rates.
+// Shared storage; do not mutate.
+func (c *WorkloadCache) Aggregated() Workload { return c.pairs }
+
+// CommCost returns C_a(p) (Eq. 1) in O(len(p)) — equivalent to the scalar
+// PPDC.CommCost up to float reassociation.
+func (c *WorkloadCache) CommCost(p Placement) float64 {
+	if len(p) == 0 {
+		return c.direct
+	}
+	return c.totalRate*c.d.ChainCost(p) + c.ingress[p[0]] + c.egress[p[len(p)-1]]
+}
+
+// TotalCost returns C_t(p, m) = C_b(p, m) + C_a(m) (Eq. 8) using the
+// cached C_a.
+func (c *WorkloadCache) TotalCost(p, m Placement, mu float64) float64 {
+	return c.d.MigrationCost(p, m, mu) + c.CommCost(m)
+}

@@ -1,0 +1,140 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/topology"
+)
+
+// closeRel is the 1-ULP-scale equivalence the aggregated cache promises:
+// it reorders float sums, so results match the scalar oracle up to
+// reassociation error, which is bounded far below 1e-9 relative at our
+// workload sizes.
+func closeRel(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+func cacheFixture(t *testing.T) (*PPDC, Workload, *rand.Rand) {
+	t.Helper()
+	d := MustNew(topology.MustFatTree(4, nil), Options{})
+	rng := rand.New(rand.NewSource(42))
+	hosts := d.Hosts()
+	w := make(Workload, 40)
+	for i := range w {
+		w[i] = VMPair{
+			Src:  hosts[rng.Intn(len(hosts))],
+			Dst:  hosts[rng.Intn(len(hosts))],
+			Rate: rng.Float64() * 100,
+		}
+	}
+	return d, w, rng
+}
+
+func randomPlacement(d *PPDC, n int, rng *rand.Rand) Placement {
+	sw := d.Switches()
+	perm := rng.Perm(len(sw))
+	p := make(Placement, n)
+	for j := 0; j < n; j++ {
+		p[j] = sw[perm[j]]
+	}
+	return p
+}
+
+func TestWorkloadCacheMatchesScalarOracles(t *testing.T) {
+	d, w, rng := cacheFixture(t)
+	c := d.NewWorkloadCache(w)
+
+	if got, want := c.TotalRate(), w.TotalRate(); !closeRel(got, want) {
+		t.Fatalf("TotalRate %v != %v", got, want)
+	}
+	in, eg := c.EndpointCosts()
+	inS, egS := d.EndpointCosts(w)
+	for v := range in {
+		if !closeRel(in[v], inS[v]) || !closeRel(eg[v], egS[v]) {
+			t.Fatalf("endpoint vectors diverge at %d: (%v,%v) vs (%v,%v)", v, in[v], eg[v], inS[v], egS[v])
+		}
+	}
+	if got, want := c.CommCost(nil), d.CommCost(w, nil); !closeRel(got, want) {
+		t.Fatalf("empty-placement C_a %v != %v", got, want)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		p := randomPlacement(d, n, rng)
+		if got, want := c.CommCost(p), d.CommCost(w, p); !closeRel(got, want) {
+			t.Fatalf("C_a(%v) = %v, scalar %v", p, got, want)
+		}
+		m := randomPlacement(d, n, rng)
+		mu := rng.Float64() * 1e4
+		if got, want := c.TotalCost(p, m, mu), d.TotalCost(w, p, m, mu); !closeRel(got, want) {
+			t.Fatalf("C_t = %v, scalar %v", got, want)
+		}
+	}
+}
+
+func TestWorkloadCacheAggregatesDuplicatePairs(t *testing.T) {
+	d, _, _ := cacheFixture(t)
+	h := d.Hosts()
+	w := Workload{
+		{Src: h[0], Dst: h[1], Rate: 3},
+		{Src: h[0], Dst: h[1], Rate: 4}, // same pair: must merge
+		{Src: h[1], Dst: h[0], Rate: 5}, // reversed pair: must stay separate
+		{Src: h[2], Dst: h[3], Rate: 0}, // zero rate: must be dropped
+	}
+	c := d.NewWorkloadCache(w)
+	agg := c.Aggregated()
+	if len(agg) != 2 {
+		t.Fatalf("aggregated to %d pairs, want 2: %v", len(agg), agg)
+	}
+	if agg[0].Rate != 7 || agg[1].Rate != 5 {
+		t.Fatalf("aggregated rates %v/%v, want 7/5", agg[0].Rate, agg[1].Rate)
+	}
+	if got, want := c.CommCost(nil), d.CommCost(w, nil); !closeRel(got, want) {
+		t.Fatalf("direct cost %v != scalar %v", got, want)
+	}
+}
+
+// TestWorkloadCacheSetWorkload exercises the invalidation hook of the TOM
+// dynamic-rates path: rebuilt aggregates must track the new rates (and
+// even new endpoints) exactly as a fresh cache would.
+func TestWorkloadCacheSetWorkload(t *testing.T) {
+	d, w, rng := cacheFixture(t)
+	c := d.NewWorkloadCache(w)
+	p := randomPlacement(d, 3, rng)
+
+	for round := 0; round < 10; round++ {
+		w2 := make(Workload, len(w))
+		copy(w2, w)
+		for i := range w2 {
+			w2[i].Rate = rng.Float64() * 1000
+		}
+		if round%3 == 2 { // occasionally move endpoints too
+			hosts := d.Hosts()
+			w2[rng.Intn(len(w2))].Src = hosts[rng.Intn(len(hosts))]
+		}
+		c.SetWorkload(w2)
+		if got, want := c.CommCost(p), d.CommCost(w2, p); !closeRel(got, want) {
+			t.Fatalf("round %d: rebuilt C_a %v != scalar %v", round, got, want)
+		}
+		fresh := d.NewWorkloadCache(w2)
+		if got, want := c.CommCost(p), fresh.CommCost(p); got != want {
+			t.Fatalf("round %d: rebuilt cache %v != fresh cache %v (determinism)", round, got, want)
+		}
+	}
+}
+
+// TestWorkloadCacheDeterministic: two caches over the same workload are
+// bit-identical — aggregation runs in slice order, never map order.
+func TestWorkloadCacheDeterministic(t *testing.T) {
+	d, w, _ := cacheFixture(t)
+	a, b := d.NewWorkloadCache(w), d.NewWorkloadCache(w)
+	inA, egA := a.EndpointCosts()
+	inB, egB := b.EndpointCosts()
+	for v := range inA {
+		if inA[v] != inB[v] || egA[v] != egB[v] {
+			t.Fatalf("nondeterministic aggregation at vertex %d", v)
+		}
+	}
+}

@@ -12,9 +12,12 @@ import (
 )
 
 // ForEach runs fn(i) for i in [0, n) on up to workers goroutines
-// (workers ≤ 0 = GOMAXPROCS). It returns the first error by index order,
-// running every index regardless (no short-circuit: experiment runs are
-// cheap relative to the value of complete error reporting).
+// (workers ≤ 0 = GOMAXPROCS; workers > n is clamped to n, so passing a
+// huge worker count never spawns idle goroutines). It returns the first
+// error by index order, running every index regardless (no short-circuit:
+// experiment runs are cheap relative to the value of complete error
+// reporting). A panicking task is recovered and surfaced as an error
+// naming the index; it does not take down the pool.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -55,6 +58,41 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// MapChunked splits [0, n) into at most `workers` contiguous, disjoint
+// ranges of near-equal size and runs fn(lo, hi) once per range. It is the
+// fan-out shape for row-range kernels (e.g. the parallel APSP build, where
+// each chunk owns a contiguous block of Dijkstra sources and its own
+// scratch buffers): one chunk per worker amortizes per-task scratch
+// allocation over n/workers items instead of paying it per item.
+//
+// Error and panic semantics match ForEach: every chunk runs, and the error
+// of the lowest-indexed chunk wins. workers ≤ 0 means GOMAXPROCS;
+// workers > n is clamped to n (each chunk then holds a single index).
+func MapChunked(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Spread the remainder over the first n%workers chunks so sizes differ
+	// by at most one.
+	size, rem := n/workers, n%workers
+	bounds := make([]int, workers+1)
+	for c := 0; c < workers; c++ {
+		bounds[c+1] = bounds[c] + size
+		if c < rem {
+			bounds[c+1]++
+		}
+	}
+	return ForEach(workers, workers, func(c int) error {
+		return fn(bounds[c], bounds[c+1])
+	})
 }
 
 // Map runs fn(i) for i in [0, n) concurrently and collects the results in

@@ -15,18 +15,16 @@ import (
 // mixes, the delay-optimal placement is far from traffic-optimal.
 
 // unweightedEndpointCosts is EndpointCosts with every λ_i treated as 1:
-// the average-delay objective of the baselines (scaled by l).
+// the average-delay objective of the baselines (scaled by l). It rides
+// the aggregated cache with a unit-rate copy of the workload, so the
+// per-vertex sweep is over distinct endpoint hosts rather than flows.
 func unweightedEndpointCosts(d *model.PPDC, w model.Workload) (ingress, egress []float64) {
-	nv := d.Topo.Graph.Order()
-	ingress = make([]float64, nv)
-	egress = make([]float64, nv)
-	for _, f := range w {
-		for v := 0; v < nv; v++ {
-			ingress[v] += d.APSP.Cost(f.Src, v)
-			egress[v] += d.APSP.Cost(v, f.Dst)
-		}
+	unit := make(model.Workload, len(w))
+	for i, f := range w {
+		f.Rate = 1
+		unit[i] = f
 	}
-	return ingress, egress
+	return d.NewWorkloadCache(unit).EndpointCosts()
 }
 
 // Steering adapts the placement heuristic of Zhang et al. [55] to the

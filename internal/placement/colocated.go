@@ -30,7 +30,7 @@ func (Colocated) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Pl
 		return nil, 0, err
 	}
 	in, eg := endpointArrays(d, w)
-	p, _ := bestSingle(d, in, eg)
+	p, _ := bestSingle(d, w, in, eg)
 	full := make(model.Placement, sfc.Len())
 	for j := range full {
 		full[j] = p[0]

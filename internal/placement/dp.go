@@ -39,7 +39,7 @@ func (a DP) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placeme
 	in, eg := endpointArrays(d, w)
 	switch n {
 	case 1:
-		p, c := bestSingle(d, in, eg)
+		p, c := bestSingle(d, w, in, eg)
 		return p, c, nil
 	case 2:
 		p, c := bestPair(d, w, in, eg)

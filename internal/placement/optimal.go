@@ -46,7 +46,7 @@ func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (mo
 	in, eg := endpointArrays(d, w)
 	switch n {
 	case 1:
-		p, c := bestSingle(d, in, eg)
+		p, c := bestSingle(d, w, in, eg)
 		return p, c, true, nil
 	case 2:
 		p, c := bestPair(d, w, in, eg)

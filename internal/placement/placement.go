@@ -61,17 +61,22 @@ func switchCosts(d *model.PPDC) [][]float64 {
 	return d.APSP.CostMatrix(d.Topo.Switches)
 }
 
-// endpointArrays restricts model.PPDC.EndpointCosts to just what the
-// solvers index (full vertex arrays; switch lookups go through the vertex
-// id directly).
+// endpointArrays restricts the aggregated workload cache's endpoint
+// vectors to just what the solvers index (full vertex arrays; switch
+// lookups go through the vertex id directly). The aggregated build costs
+// O(l + H·|V|) for H distinct flow-endpoint hosts, versus the scalar
+// model.PPDC.EndpointCosts O(l·|V|) — the scalar form stays available as
+// the differential oracle.
 func endpointArrays(d *model.PPDC, w model.Workload) (ingress, egress []float64) {
-	return d.EndpointCosts(w)
+	return d.NewWorkloadCache(w).EndpointCosts()
 }
 
 // bestSingle solves n = 1: place the only VNF at the switch minimizing
 // ingress + egress cost. This is one of the paper's "simple solutions for
-// cases of n = 1, 2".
-func bestSingle(d *model.PPDC, in, eg []float64) (model.Placement, float64) {
+// cases of n = 1, 2". The returned cost is re-evaluated through the
+// scalar model so reported costs stay exactly C_a regardless of which
+// (scalar or aggregated) arrays drove the argmin.
+func bestSingle(d *model.PPDC, w model.Workload, in, eg []float64) (model.Placement, float64) {
 	best := math.Inf(1)
 	var bestS int
 	for _, s := range d.Topo.Switches {
@@ -80,7 +85,8 @@ func bestSingle(d *model.PPDC, in, eg []float64) (model.Placement, float64) {
 			bestS = s
 		}
 	}
-	return model.Placement{bestS}, best
+	p := model.Placement{bestS}
+	return p, d.CommCost(w, p)
 }
 
 // bestPair solves n = 2 exactly: all ordered switch pairs.
@@ -100,5 +106,5 @@ func bestPair(d *model.PPDC, w model.Workload, in, eg []float64) (model.Placemen
 			}
 		}
 	}
-	return p, best
+	return p, d.CommCost(w, p)
 }

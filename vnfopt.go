@@ -65,6 +65,11 @@ type (
 	// Placement maps each VNF to its hosting switch; also used for
 	// migration targets m.
 	Placement = model.Placement
+	// WorkloadCache is the aggregated-workload fast path of the cost
+	// model: O(n) C_a per candidate placement after a one-time O(l + H·|V|)
+	// aggregation, with a SetWorkload invalidation hook for dynamic rates.
+	// Build one with PPDC.NewWorkloadCache.
+	WorkloadCache = model.WorkloadCache
 )
 
 // Topology types (see internal/topology).
