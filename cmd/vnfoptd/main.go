@@ -1,0 +1,83 @@
+// Command vnfoptd is the online control-plane daemon: it hosts online
+// placement engines (internal/engine) for any number of scenarios behind
+// an HTTP/JSON API, turning the paper's periodically-executed TOM into a
+// long-running service.
+//
+// Usage:
+//
+//	vnfoptd -addr :8080 -snapshot /var/lib/vnfoptd/state.json
+//
+// API (see docs/ENGINE.md for the full reference and a curl session):
+//
+//	POST   /v1/scenarios                create (or resume) a scenario
+//	GET    /v1/scenarios                list scenarios
+//	DELETE /v1/scenarios/{id}           drop a scenario
+//	POST   /v1/scenarios/{id}/rates     ingest rate deltas (optional step)
+//	POST   /v1/scenarios/{id}/step      close the epoch / run the TOM loop
+//	GET    /v1/scenarios/{id}/placement lock-free placement snapshot
+//	GET    /v1/scenarios/{id}/state     durable engine state (JSON)
+//	GET    /metrics                     per-scenario engine counters
+//	GET    /healthz                     liveness
+//
+// On SIGTERM/SIGINT the daemon drains in-flight requests (bounded by
+// -drain) and, when -snapshot is set, persists every scenario's engine
+// state; the next boot restores them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		snapshot = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := newServer()
+	if *snapshot != "" {
+		if err := srv.loadSnapshot(*snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "vnfoptd: restore: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("vnfoptd: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "vnfoptd: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("vnfoptd: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "vnfoptd: drain: %v\n", err)
+		}
+		cancel()
+		if *snapshot != "" {
+			if err := srv.saveSnapshot(*snapshot); err != nil {
+				fmt.Fprintf(os.Stderr, "vnfoptd: snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("vnfoptd: state saved to %s\n", *snapshot)
+		}
+	}
+}

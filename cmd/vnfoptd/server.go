@@ -1,0 +1,461 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vnfopt/internal/engine"
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// PairSpec is one explicit flow of a scenario: host *indices* into the
+// fabric's host list (not raw vertex ids), plus the initial rate.
+type PairSpec struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Rate float64 `json:"rate"`
+}
+
+// ScenarioSpec is the POST /v1/scenarios request body. Flows come either
+// explicitly (Pairs) or generated (Flows/TenantRacks/Seed); State resumes
+// a previously captured engine state on top of the same spec.
+type ScenarioSpec struct {
+	// Name is an optional label echoed in listings and metrics.
+	Name string `json:"name"`
+	// Topology is "fat-tree" (default) or "leaf-spine".
+	Topology string `json:"topology"`
+	// K is the fat-tree arity (default 4).
+	K int `json:"k"`
+	// Leaves/Spines/HostsPerLeaf shape a leaf-spine fabric (defaults 4/2/4).
+	Leaves       int `json:"leaves"`
+	Spines       int `json:"spines"`
+	HostsPerLeaf int `json:"hosts_per_leaf"`
+	// SFCLen is the chain length n (default 3).
+	SFCLen int `json:"sfc_len"`
+	// Mu is the migration coefficient μ (default 1000).
+	Mu float64 `json:"mu"`
+	// Pairs are explicit flows; when empty, Flows/TenantRacks/Seed
+	// generate a clustered workload.
+	Pairs       []PairSpec `json:"pairs"`
+	Flows       int        `json:"flows"`
+	TenantRacks int        `json:"tenant_racks"`
+	Seed        int64      `json:"seed"`
+	// Migrator is "mpareto" (default), "layereddp", or "nomigration".
+	Migrator string `json:"migrator"`
+	// Policy holds the drift/cooldown/budget knobs.
+	Policy engine.Policy `json:"policy"`
+	// State, when set, resumes a scenario from a saved engine state.
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+// buildEngine materializes a spec into a running engine.
+func buildEngine(spec *ScenarioSpec) (*engine.Engine, error) {
+	if spec.Topology == "" {
+		spec.Topology = "fat-tree"
+	}
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	switch spec.Topology {
+	case "fat-tree":
+		if spec.K == 0 {
+			spec.K = 4
+		}
+		topo, err = topology.FatTree(spec.K, nil)
+	case "leaf-spine":
+		if spec.Leaves == 0 {
+			spec.Leaves = 4
+		}
+		if spec.Spines == 0 {
+			spec.Spines = 2
+		}
+		if spec.HostsPerLeaf == 0 {
+			spec.HostsPerLeaf = 4
+		}
+		topo, err = topology.LeafSpine(spec.Leaves, spec.Spines, spec.HostsPerLeaf, nil)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want fat-tree or leaf-spine)", spec.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d, err := model.New(topo, model.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	var base model.Workload
+	if len(spec.Pairs) > 0 {
+		hosts := topo.Hosts
+		base = make(model.Workload, len(spec.Pairs))
+		for i, p := range spec.Pairs {
+			if p.Src < 0 || p.Src >= len(hosts) || p.Dst < 0 || p.Dst >= len(hosts) {
+				return nil, fmt.Errorf("pair %d: host index out of range [0,%d)", i, len(hosts))
+			}
+			base[i] = model.VMPair{Src: hosts[p.Src], Dst: hosts[p.Dst], Rate: p.Rate}
+		}
+	} else {
+		if spec.Flows == 0 {
+			spec.Flows = 50
+		}
+		if spec.TenantRacks == 0 {
+			spec.TenantRacks = 4
+		}
+		rng := rand.New(rand.NewSource(spec.Seed))
+		base, err = workload.PairsClustered(topo, spec.Flows, spec.TenantRacks, workload.DefaultIntraRack, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := range base {
+			base[i].Rate = workload.Rate(rng)
+		}
+	}
+
+	if spec.SFCLen == 0 {
+		spec.SFCLen = 3
+	}
+	if spec.Mu == 0 {
+		spec.Mu = 1000
+	}
+	var mig migration.Migrator
+	switch strings.ToLower(spec.Migrator) {
+	case "", "mpareto":
+		spec.Migrator = "mpareto"
+		mig = migration.MPareto{}
+	case "layereddp":
+		mig = migration.LayeredDP{}
+	case "nomigration":
+		mig = migration.NoMigration{}
+	default:
+		return nil, fmt.Errorf("unknown migrator %q (want mpareto, layereddp, or nomigration)", spec.Migrator)
+	}
+
+	cfg := engine.Config{
+		PPDC:     d,
+		SFC:      model.NewSFC(spec.SFCLen),
+		Base:     base,
+		Mu:       spec.Mu,
+		Placer:   placement.DP{},
+		Migrator: mig,
+		Policy:   spec.Policy,
+	}
+	if len(spec.State) > 0 {
+		return engine.ResumeJSON(cfg, spec.State)
+	}
+	return engine.New(cfg)
+}
+
+// scenario is one hosted engine. The per-scenario mutex serializes step
+// and state calls; snapshot reads go straight to the engine's lock-free
+// path.
+type scenario struct {
+	ID      string        `json:"id"`
+	Spec    *ScenarioSpec `json:"spec"`
+	Created time.Time     `json:"created"`
+
+	mu  sync.Mutex
+	eng *engine.Engine
+}
+
+// server is the vnfoptd control plane: a registry of scenarios behind an
+// HTTP/JSON API.
+type server struct {
+	mu        sync.RWMutex
+	scenarios map[string]*scenario
+	nextID    int
+	start     time.Time
+}
+
+func newServer() *server {
+	return &server{scenarios: make(map[string]*scenario), start: time.Now()}
+}
+
+// handler builds the route table (Go 1.22 pattern mux).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime": time.Since(s.start).String()})
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/scenarios", s.handleCreate)
+	mux.HandleFunc("GET /v1/scenarios", s.handleList)
+	mux.HandleFunc("DELETE /v1/scenarios/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/scenarios/{id}/rates", s.handleRates)
+	mux.HandleFunc("POST /v1/scenarios/{id}/step", s.handleStep)
+	mux.HandleFunc("GET /v1/scenarios/{id}/placement", s.handlePlacement)
+	mux.HandleFunc("GET /v1/scenarios/{id}/state", s.handleState)
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) get(id string) *scenario {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scenarios[id]
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec ScenarioSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad scenario spec: %v", err)
+		return
+	}
+	eng, err := buildEngine(&spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "scenario: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	sc := &scenario{ID: id, Spec: &spec, Created: time.Now(), eng: eng}
+	s.scenarios[id] = sc
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":       id,
+		"flows":    eng.Flows(),
+		"migrator": eng.MigratorName(),
+		"snapshot": eng.Snapshot(),
+	})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.scenarios))
+	for id := range s.scenarios {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	out := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		sc := s.get(id)
+		if sc == nil {
+			continue
+		}
+		out = append(out, map[string]any{
+			"id":       sc.ID,
+			"name":     sc.Spec.Name,
+			"created":  sc.Created,
+			"snapshot": sc.eng.Snapshot(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.scenarios[id]
+	delete(s.scenarios, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no scenario %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+// ratesRequest is the delta-ingest body: a batch of per-flow rate updates,
+// optionally stepping the epoch in the same call.
+type ratesRequest struct {
+	Updates []engine.RateUpdate `json:"updates"`
+	// Step closes the epoch right after the ingest when true.
+	Step bool `json:"step"`
+}
+
+func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	var req ratesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad rates body: %v", err)
+		return
+	}
+	n, err := sc.eng.OfferRates(req.Updates)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := map[string]any{"accepted": n}
+	if req.Step {
+		sc.mu.Lock()
+		res, err := sc.eng.Step()
+		sc.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp["step"] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	sc.mu.Lock()
+	res, err := sc.eng.Step()
+	sc.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sc.eng.Snapshot())
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	sc.mu.Lock()
+	st := sc.eng.State()
+	sc.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.scenarios))
+	for id := range s.scenarios {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	per := make(map[string]any, len(ids))
+	for _, id := range ids {
+		sc := s.get(id)
+		if sc == nil {
+			continue
+		}
+		per[id] = map[string]any{
+			"name":    sc.Spec.Name,
+			"metrics": sc.eng.Metrics(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ns": time.Since(s.start),
+		"scenarios": per,
+	})
+}
+
+// persistedScenario is the on-disk form of one scenario in the daemon's
+// snapshot file: the spec with the engine state embedded, so loading is
+// exactly a sequence of create-with-state calls.
+type persistedScenario struct {
+	ID   string        `json:"id"`
+	Spec *ScenarioSpec `json:"spec"`
+}
+
+// saveSnapshot writes every scenario's spec+state to path.
+func (s *server) saveSnapshot(path string) error {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.scenarios))
+	for id := range s.scenarios {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	out := make([]persistedScenario, 0, len(ids))
+	for _, id := range ids {
+		sc := s.get(id)
+		if sc == nil {
+			continue
+		}
+		sc.mu.Lock()
+		blob, err := sc.eng.MarshalState()
+		sc.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", id, err)
+		}
+		spec := *sc.Spec
+		spec.State = blob
+		out = append(out, persistedScenario{ID: id, Spec: &spec})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSnapshot restores scenarios from a snapshot file; a missing file is
+// a clean first boot.
+func (s *server) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var in []persistedScenario
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	for _, ps := range in {
+		eng, err := buildEngine(ps.Spec)
+		if err != nil {
+			return fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
+		}
+		s.mu.Lock()
+		s.scenarios[ps.ID] = &scenario{ID: ps.ID, Spec: ps.Spec, Created: time.Now(), eng: eng}
+		if n := len(ps.ID); n > 1 && ps.ID[0] == 's' {
+			var num int
+			if _, err := fmt.Sscanf(ps.ID[1:], "%d", &num); err == nil && num > s.nextID {
+				s.nextID = num
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}

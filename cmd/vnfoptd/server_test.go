@@ -1,0 +1,404 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vnfopt/internal/engine"
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/sim"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// do issues one JSON request against the test server and decodes the
+// response into out (when non-nil), failing the test on transport errors.
+func do(t *testing.T, ts *httptest.Server, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// e2eScenario builds the seeded k=4 fat-tree burst scenario shared by the
+// daemon run and the offline sim reference: 24 clustered flows, 3-VNF
+// chain, μ=1000, and the hour-1 rates as the starting workload.
+func e2eScenario(t *testing.T) (*topology.Topology, model.Workload, [][]float64) {
+	t.Helper()
+	ft := topology.MustFatTree(4, nil)
+	rng := rand.New(rand.NewSource(3))
+	base := workload.MustPairsClustered(ft, 24, 4, workload.DefaultIntraRack, rng)
+	sched, err := workload.PaperBurst().Schedule(ft, base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		base[i].Rate = sched[0][i]
+	}
+	return ft, base, sched
+}
+
+// hostIndex maps host vertex ids to their index in the fabric's host list
+// (the addressing PairSpec uses).
+func hostIndex(ft *topology.Topology) map[int]int {
+	idx := make(map[int]int, len(ft.Hosts))
+	for i, h := range ft.Hosts {
+		idx[h] = i
+	}
+	return idx
+}
+
+// TestE2EDaemonMatchesOfflineSim is the acceptance path: create a
+// scenario over HTTP, stream the burst schedule as per-epoch rate deltas,
+// observe a drift-triggered migration, and check that every epoch's
+// placement and reported cost match an offline internal/sim replay of the
+// same schedule under the same policy.
+func TestE2EDaemonMatchesOfflineSim(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	ft, base, sched := e2eScenario(t)
+	idx := hostIndex(ft)
+	pol := engine.Policy{Hysteresis: 1.1, Cooldown: 1}
+
+	spec := ScenarioSpec{Name: "e2e", SFCLen: 3, Mu: 1e3, Policy: pol}
+	for _, f := range base {
+		spec.Pairs = append(spec.Pairs, PairSpec{Src: idx[f.Src], Dst: idx[f.Dst], Rate: f.Rate})
+	}
+	var created struct {
+		ID       string           `json:"id"`
+		Flows    int              `json:"flows"`
+		Migrator string           `json:"migrator"`
+		Snapshot *engine.Snapshot `json:"snapshot"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Flows != len(base) || created.Migrator != "mPareto" {
+		t.Fatalf("created %+v", created)
+	}
+
+	// Stream each hour as one epoch: rates delta + step in one call.
+	var daemonSteps []engine.StepResult
+	for h, rates := range sched {
+		req := ratesRequest{Step: true}
+		for i, r := range rates {
+			req.Updates = append(req.Updates, engine.RateUpdate{Flow: i, Rate: r})
+		}
+		var resp struct {
+			Accepted int                `json:"accepted"`
+			Step     *engine.StepResult `json:"step"`
+		}
+		path := fmt.Sprintf("/v1/scenarios/%s/rates", created.ID)
+		if code := do(t, ts, "POST", path, req, &resp); code != http.StatusOK {
+			t.Fatalf("hour %d: rates status %d", h+1, code)
+		}
+		if resp.Accepted != len(rates) || resp.Step == nil {
+			t.Fatalf("hour %d: response %+v", h+1, resp)
+		}
+		daemonSteps = append(daemonSteps, *resp.Step)
+	}
+
+	migrations := 0
+	for _, st := range daemonSteps {
+		if st.Migrated {
+			migrations++
+			if !st.Consulted {
+				t.Fatal("migration without consulting the migrator")
+			}
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("no drift-triggered migration observed over the schedule")
+	}
+
+	// Offline reference: the batch simulator replaying the same schedule
+	// through the same engine policy.
+	d := model.MustNew(ft, model.Options{})
+	simr, err := sim.New(sim.Config{
+		PPDC:     d,
+		SFC:      model.NewSFC(3),
+		Base:     base,
+		Schedule: sched,
+		Mu:       1e3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := simr.RunEngine(migration.MPareto{}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Steps) != len(daemonSteps) {
+		t.Fatalf("offline %d steps, daemon %d", len(ref.Steps), len(daemonSteps))
+	}
+	for h, st := range daemonSteps {
+		want := ref.Steps[h]
+		if math.Abs(st.TotalCost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+			t.Fatalf("hour %d: daemon cost %v != offline %v", h+1, st.TotalCost, want.Cost)
+		}
+		if st.Moves != want.Moves {
+			t.Fatalf("hour %d: daemon moves %d != offline %d", h+1, st.Moves, want.Moves)
+		}
+	}
+
+	// The placement snapshot the readers see is the offline final
+	// placement.
+	var snap engine.Snapshot
+	path := fmt.Sprintf("/v1/scenarios/%s/placement", created.ID)
+	if code := do(t, ts, "GET", path, nil, &snap); code != http.StatusOK {
+		t.Fatalf("placement: status %d", code)
+	}
+	if !snap.Placement.Equal(ref.Final) {
+		t.Fatalf("daemon placement %v != offline final %v", snap.Placement, ref.Final)
+	}
+	if snap.Epoch != len(sched) || snap.Migrations != migrations {
+		t.Fatalf("snapshot %+v", snap)
+	}
+
+	// Metrics expose the TOM loop's counters.
+	var met struct {
+		Scenarios map[string]struct {
+			Metrics engine.Metrics `json:"metrics"`
+		} `json:"scenarios"`
+	}
+	if code := do(t, ts, "GET", "/metrics", nil, &met); code != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	m := met.Scenarios[created.ID].Metrics
+	if m.Epochs != len(sched) || m.Migrations != migrations {
+		t.Fatalf("metrics %+v", m)
+	}
+	if len(m.Trajectory) != len(sched) {
+		t.Fatalf("trajectory length %d", len(m.Trajectory))
+	}
+	if m.DeltaEpochs+m.RebuildEpochs == 0 {
+		t.Fatal("no cache-path accounting")
+	}
+}
+
+// TestStateRoundTripOverHTTP: GET state → create a fresh scenario with it
+// → identical snapshot and identical behaviour on the next epoch.
+func TestStateRoundTripOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	ft, base, sched := e2eScenario(t)
+	idx := hostIndex(ft)
+	spec := ScenarioSpec{SFCLen: 3, Mu: 1e3, Policy: engine.Policy{Hysteresis: 1.05}}
+	for _, f := range base {
+		spec.Pairs = append(spec.Pairs, PairSpec{Src: idx[f.Src], Dst: idx[f.Dst], Rate: f.Rate})
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("create failed: %d", code)
+	}
+	for h := 0; h < 6; h++ {
+		req := ratesRequest{Step: true}
+		for i, r := range sched[h] {
+			req.Updates = append(req.Updates, engine.RateUpdate{Flow: i, Rate: r})
+		}
+		do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/rates", created.ID), req, nil)
+	}
+
+	var st json.RawMessage
+	if code := do(t, ts, "GET", fmt.Sprintf("/v1/scenarios/%s/state", created.ID), nil, &st); code != http.StatusOK {
+		t.Fatal("state failed")
+	}
+	resumed := spec
+	resumed.State = st
+	var created2 struct {
+		ID       string           `json:"id"`
+		Snapshot *engine.Snapshot `json:"snapshot"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", resumed, &created2); code != http.StatusCreated {
+		t.Fatalf("resume failed: %d", code)
+	}
+	var orig engine.Snapshot
+	if code := do(t, ts, "GET", fmt.Sprintf("/v1/scenarios/%s/placement", created.ID), nil, &orig); code != http.StatusOK {
+		t.Fatal("placement failed")
+	}
+	if created2.Snapshot.Epoch != orig.Epoch || !created2.Snapshot.Placement.Equal(orig.Placement) {
+		t.Fatalf("resumed snapshot %+v != original %+v", created2.Snapshot, orig)
+	}
+
+	// Both scenarios step identically from here.
+	req := ratesRequest{Step: true}
+	for i, r := range sched[6] {
+		req.Updates = append(req.Updates, engine.RateUpdate{Flow: i, Rate: r})
+	}
+	var r1, r2 struct {
+		Step *engine.StepResult `json:"step"`
+	}
+	do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/rates", created.ID), req, &r1)
+	do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/rates", created2.ID), req, &r2)
+	if r1.Step == nil || r2.Step == nil || !r1.Step.Placement.Equal(r2.Step.Placement) {
+		t.Fatalf("post-resume step diverged: %+v vs %+v", r1.Step, r2.Step)
+	}
+	if math.Abs(r1.Step.TotalCost-r2.Step.TotalCost) > 1e-9*math.Max(1, r1.Step.TotalCost) {
+		t.Fatalf("post-resume cost %v != %v", r2.Step.TotalCost, r1.Step.TotalCost)
+	}
+}
+
+// TestDaemonSnapshotFileRoundTrip: saveSnapshot → fresh server →
+// loadSnapshot restores scenarios with their ids, epochs, and placements.
+func TestDaemonSnapshotFileRoundTrip(t *testing.T) {
+	srv := newServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	_, base, sched := e2eScenario(t)
+	ft := topology.MustFatTree(4, nil)
+	idx := hostIndex(ft)
+	spec := ScenarioSpec{Name: "durable", SFCLen: 3, Mu: 1e3}
+	for _, f := range base {
+		spec.Pairs = append(spec.Pairs, PairSpec{Src: idx[f.Src], Dst: idx[f.Dst], Rate: f.Rate})
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	do(t, ts, "POST", "/v1/scenarios", spec, &created)
+	for h := 0; h < 4; h++ {
+		req := ratesRequest{Step: true}
+		for i, r := range sched[h] {
+			req.Updates = append(req.Updates, engine.RateUpdate{Flow: i, Rate: r})
+		}
+		do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/rates", created.ID), req, nil)
+	}
+	var before engine.Snapshot
+	do(t, ts, "GET", fmt.Sprintf("/v1/scenarios/%s/placement", created.ID), nil, &before)
+
+	path := t.TempDir() + "/state.json"
+	if err := srv.saveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := newServer()
+	if err := srv2.loadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	var after engine.Snapshot
+	if code := do(t, ts2, "GET", fmt.Sprintf("/v1/scenarios/%s/placement", created.ID), nil, &after); code != http.StatusOK {
+		t.Fatalf("restored scenario missing: %d", code)
+	}
+	if after.Epoch != before.Epoch || !after.Placement.Equal(before.Placement) {
+		t.Fatalf("restored %+v != saved %+v", after, before)
+	}
+	// Ids keep counting past the restored ones.
+	var created2 struct {
+		ID string `json:"id"`
+	}
+	do(t, ts2, "POST", "/v1/scenarios", ScenarioSpec{Flows: 8}, &created2)
+	if created2.ID == created.ID {
+		t.Fatalf("id collision after restore: %s", created2.ID)
+	}
+	// A missing snapshot file is a clean boot.
+	if err := newServer().loadSnapshot(t.TempDir() + "/none.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPIErrors covers the failure surface: unknown ids, malformed specs,
+// bad updates.
+func TestAPIErrors(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	if code := do(t, ts, "GET", "/v1/scenarios/nope/placement", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", code)
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios/nope/step", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id step: %d", code)
+	}
+	if code := do(t, ts, "DELETE", "/v1/scenarios/nope", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id delete: %d", code)
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", map[string]any{"topology": "torus"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad topology: %d", code)
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", map[string]any{"bogus_field": 1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", code)
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", map[string]any{"migrator": "quantum"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad migrator: %d", code)
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", map[string]any{"pairs": []map[string]any{{"src": 0, "dst": 999, "rate": 1}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad pair: %d", code)
+	}
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", ScenarioSpec{Flows: 8, Seed: 1}, &created); code != http.StatusCreated {
+		t.Fatalf("generated scenario: %d", code)
+	}
+	path := fmt.Sprintf("/v1/scenarios/%s/rates", created.ID)
+	if code := do(t, ts, "POST", path, ratesRequest{Updates: []engine.RateUpdate{{Flow: 99, Rate: 1}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range flow: %d", code)
+	}
+	if code := do(t, ts, "POST", path, ratesRequest{Updates: []engine.RateUpdate{{Flow: 0, Rate: -1}}}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("negative rate: %d", code)
+	}
+	if code := do(t, ts, "DELETE", "/v1/scenarios/"+created.ID, nil, nil); code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if code := do(t, ts, "GET", "/v1/scenarios/"+created.ID+"/placement", nil, nil); code != http.StatusNotFound {
+		t.Fatal("deleted scenario still served")
+	}
+	if code := do(t, ts, "GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+}
+
+// TestLeafSpineScenario: the daemon serves non-fat-tree fabrics too.
+func TestLeafSpineScenario(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+	var created struct {
+		ID       string           `json:"id"`
+		Snapshot *engine.Snapshot `json:"snapshot"`
+	}
+	spec := ScenarioSpec{Topology: "leaf-spine", Flows: 10, Seed: 2, SFCLen: 2, Migrator: "layereddp"}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("leaf-spine create: %d", code)
+	}
+	if len(created.Snapshot.Placement) != 2 {
+		t.Fatalf("snapshot %+v", created.Snapshot)
+	}
+	var res engine.StepResult
+	if code := do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/step", created.ID), nil, &res); code != http.StatusOK {
+		t.Fatal("step failed")
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d", res.Epoch)
+	}
+}

@@ -26,10 +26,10 @@ func main() {
 		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		quick  = flag.Bool("quick", false, "CI-scale parameters instead of paper scale")
-		runs   = flag.Int("runs", 0, "override repetitions per data point (0 = config default)")
-		seed   = flag.Int64("seed", 0, "override base RNG seed (0 = config default)")
-		budget = flag.Int("budget", 0, "override the Optimal search node budget (0 = config default)")
-		mu     = flag.Float64("mu", 0, "override the VNF migration coefficient μ (0 = config default)")
+		runs   = flag.Int("runs", 0, "override repetitions per data point (unset = config default)")
+		seed   = flag.Int64("seed", 0, "override base RNG seed (unset = config default)")
+		budget = flag.Int("budget", 0, "override the Optimal search node budget (unset = config default)")
+		mu     = flag.Float64("mu", 0, "override the VNF migration coefficient μ (unset = config default)")
 		format = flag.String("format", "table", "output format: table or csv")
 	)
 	flag.Parse()
@@ -46,18 +46,21 @@ func main() {
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
-	if *runs > 0 {
-		cfg.Runs = *runs
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
-	if *budget > 0 {
-		cfg.OptBudget = *budget
-	}
-	if *mu > 0 {
-		cfg.Mu = *mu
-	}
+	// Apply overrides only for flags the user actually passed, so explicit
+	// zero values take effect (-mu 0 disables migration cost, -seed 0
+	// selects the zero seed) instead of being mistaken for "not set".
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "runs":
+			cfg.Runs = *runs
+		case "seed":
+			cfg.Seed = *seed
+		case "budget":
+			cfg.OptBudget = *budget
+		case "mu":
+			cfg.Mu = *mu
+		}
+	})
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -1,0 +1,79 @@
+package differential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// FuzzApplyDeltaEquivalence is the differential property behind the online
+// engine's incremental cost path: *any* sequence of WorkloadCache.ApplyDelta
+// updates (raises, drops to zero, pairs born via EnsurePair, interleaved
+// no-ops) leaves the cache within 1e-9 relative of a fresh SetWorkload
+// rebuild of the resulting workload — endpoint vectors, total rate, direct
+// cost, and C_a of random placements alike. Run with
+// `go test -fuzz=FuzzApplyDeltaEquivalence ./internal/differential`.
+func FuzzApplyDeltaEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(60))
+	f.Add(int64(9), uint8(4), uint8(1))
+	f.Add(int64(-7), uint8(200), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, lRaw, stepsRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		d := model.MustNew(topology.MustFatTree(4, nil), model.Options{})
+		hosts := d.Hosts()
+		l := 1 + int(lRaw)%40
+		w := workload.MustPairsClustered(d.Topo, l, 1+int(lRaw)%4, workload.DefaultIntraRack, rng)
+		c := d.NewWorkloadCache(w)
+
+		steps := 1 + int(stepsRaw)
+		for s := 0; s < steps; s++ {
+			var i int
+			switch rng.Intn(3) {
+			case 0:
+				i = rng.Intn(len(c.Aggregated()))
+			case 1:
+				i = c.EnsurePair(hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))])
+			default:
+				i = rng.Intn(len(c.Aggregated()))
+				c.ApplyDelta(i, 0) // drop, then maybe resurrect below
+			}
+			c.ApplyDelta(i, rng.Float64()*1000)
+		}
+
+		fresh := d.NewWorkloadCache(c.Aggregated())
+		closeRel := func(a, b float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+			return math.Abs(a-b) <= 1e-9*scale
+		}
+		if !closeRel(c.TotalRate(), fresh.TotalRate()) {
+			t.Fatalf("seed=%d: TotalRate %v != rebuilt %v", seed, c.TotalRate(), fresh.TotalRate())
+		}
+		if !closeRel(c.CommCost(nil), fresh.CommCost(nil)) {
+			t.Fatalf("seed=%d: direct %v != rebuilt %v", seed, c.CommCost(nil), fresh.CommCost(nil))
+		}
+		in, eg := c.EndpointCosts()
+		inF, egF := fresh.EndpointCosts()
+		for v := range in {
+			if !closeRel(in[v], inF[v]) || !closeRel(eg[v], egF[v]) {
+				t.Fatalf("seed=%d: endpoint vectors diverge at vertex %d: (%v,%v) vs (%v,%v)",
+					seed, v, in[v], eg[v], inF[v], egF[v])
+			}
+		}
+		sw := d.Switches()
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(4)
+			perm := rng.Perm(len(sw))
+			p := make(model.Placement, n)
+			for j := range p {
+				p[j] = sw[perm[j]]
+			}
+			if got, want := c.CommCost(p), fresh.CommCost(p); !closeRel(got, want) {
+				t.Fatalf("seed=%d: C_a(%v) = %v, rebuilt %v", seed, p, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,414 @@
+// Package engine is the online half of the system: a long-running,
+// concurrency-safe placement engine that owns one PPDC + SFC + live
+// workload and keeps the placement traffic-optimal as rates stream in.
+//
+// The paper's TOM "executes periodically to optimize a PPDC's network
+// resource in the face of dynamic VM traffic"; the batch simulator
+// (internal/sim) replays that as a precomputed hourly schedule. The engine
+// turns it into a control loop:
+//
+//   - writers stream per-flow rate updates with OfferRates; updates are
+//     coalesced (last write wins per flow) into a pending set,
+//   - Step closes an epoch: it folds the pending set into the aggregated
+//     WorkloadCache — via the O(|V|)-per-pair ApplyDelta fast path when
+//     the epoch touched few host pairs, or one SetWorkload rebuild when it
+//     touched most of them,
+//   - a drift trigger compares the epoch's communication cost against the
+//     cost recorded when the placement was last committed; only when the
+//     drift exceeds the hysteresis factor (and the cooldown has elapsed)
+//     is the configured TOM migrator consulted, under a per-migration
+//     move budget,
+//   - the resulting placement is committed atomically: readers call
+//     Snapshot (lock-free atomic pointer load) and never block behind
+//     ingest, stepping, or a running migrator.
+//
+// The batch simulator drives this same loop with the always-consult
+// policy, so the offline figures and the online daemon (cmd/vnfoptd)
+// share one code path.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+)
+
+// Policy is the engine's migration-control knobs — when the TOM loop may
+// act, independently of which migrator it consults.
+type Policy struct {
+	// Hysteresis gates the drift trigger: the migrator is consulted when
+	// the epoch's communication cost exceeds Hysteresis × the cost
+	// recorded at the last commit. Values ≤ 0 consult every epoch (the
+	// batch-simulator behaviour); 1.1 tolerates 10% drift.
+	Hysteresis float64 `json:"hysteresis"`
+	// Cooldown is the minimum number of epochs between migrations (0 = no
+	// cooldown).
+	Cooldown int `json:"cooldown"`
+	// Budget caps the VNF moves of one migration via migration.Budgeted
+	// (0 = unlimited).
+	Budget int `json:"budget"`
+	// RebuildFraction picks delta vs rebuild: when an epoch changes more
+	// than this fraction of the cache's aggregated pairs, Step rebuilds
+	// with SetWorkload instead of per-pair ApplyDelta sweeps. 0 means the
+	// default 0.5; negative forces rebuilds (every epoch), ≥ 1 keeps the
+	// delta path except when an epoch touches more pairs than the cache
+	// currently holds.
+	RebuildFraction float64 `json:"rebuild_fraction"`
+}
+
+// Config describes one engine instance.
+type Config struct {
+	// PPDC is the fabric.
+	PPDC *model.PPDC
+	// SFC is the chain every flow traverses.
+	SFC model.SFC
+	// Base provides the flow endpoints and the initial rates; flows are
+	// addressed by their index in Base for the lifetime of the engine.
+	Base model.Workload
+	// Mu is the migration coefficient μ.
+	Mu float64
+	// Initial is the starting placement; nil computes one with Placer.
+	Initial model.Placement
+	// Placer computes the initial placement when Initial is nil
+	// (nil = Algorithm 3).
+	Placer placement.Solver
+	// Migrator is the TOM algorithm the drift trigger consults
+	// (nil = Algorithm 5, mPareto).
+	Migrator migration.Migrator
+	// Policy holds the hysteresis/cooldown/budget knobs.
+	Policy Policy
+}
+
+// RateUpdate is one streaming event: flow Flow's rate is now Rate.
+type RateUpdate struct {
+	Flow int     `json:"flow"`
+	Rate float64 `json:"rate"`
+}
+
+// Snapshot is the atomically-published view readers see: the committed
+// placement and the costs that justify it. Readers own the returned
+// struct; the engine never mutates a published snapshot.
+type Snapshot struct {
+	// Epoch is the number of completed Steps.
+	Epoch int `json:"epoch"`
+	// Placement is the committed placement.
+	Placement model.Placement `json:"placement"`
+	// CommCost is C_a of the live rates under Placement as of the last
+	// completed epoch.
+	CommCost float64 `json:"comm_cost"`
+	// CommittedCost is C_a at the epoch Placement was committed — the
+	// drift trigger's reference point.
+	CommittedCost float64 `json:"committed_cost"`
+	// CommittedEpoch is when Placement was committed (0 = initial).
+	CommittedEpoch int `json:"committed_epoch"`
+	// Migrations counts commits after the initial placement.
+	Migrations int `json:"migrations"`
+}
+
+// StepResult reports one closed epoch.
+type StepResult struct {
+	// Epoch is the 1-based epoch just completed.
+	Epoch int `json:"epoch"`
+	// CommCost is C_a of the epoch's rates under the (possibly new)
+	// placement, from the aggregated cache.
+	CommCost float64 `json:"comm_cost"`
+	// MigCost is C_b(prev, new) when a migration was committed, else 0.
+	MigCost float64 `json:"mig_cost"`
+	// TotalCost is the epoch's cost: the migrator-reported C_t when it was
+	// consulted (bit-identical to the batch simulator's accounting), else
+	// CommCost.
+	TotalCost float64 `json:"total_cost"`
+	// Moves is the number of VNFs that moved this epoch.
+	Moves int `json:"moves"`
+	// Consulted reports whether the drift trigger fired and the migrator
+	// ran.
+	Consulted bool `json:"consulted"`
+	// Migrated reports whether a new placement was committed.
+	Migrated bool `json:"migrated"`
+	// Placement is the committed placement after the epoch (a copy).
+	Placement model.Placement `json:"placement"`
+	// Elapsed is the wall-clock time of the Step call.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Metrics are the engine's monotonic counters, exported by the daemon's
+// /metrics endpoint.
+type Metrics struct {
+	// Epochs is the number of completed Steps.
+	Epochs int `json:"epochs"`
+	// UpdatesAccepted counts rate updates accepted by OfferRates.
+	UpdatesAccepted int64 `json:"updates_accepted"`
+	// Consults counts epochs in which the migrator ran.
+	Consults int `json:"consults"`
+	// Migrations counts committed migrations; Moves the VNFs they moved.
+	Migrations int `json:"migrations"`
+	Moves      int `json:"moves"`
+	// DeltaPairs counts host pairs updated through ApplyDelta;
+	// DeltaEpochs/RebuildEpochs count which path each epoch took.
+	DeltaPairs    int64 `json:"delta_pairs"`
+	DeltaEpochs   int64 `json:"delta_epochs"`
+	RebuildEpochs int64 `json:"rebuild_epochs"`
+	// LastEpoch and TotalEpoch time the Step calls.
+	LastEpoch  time.Duration `json:"last_epoch_ns"`
+	TotalEpoch time.Duration `json:"total_epoch_ns"`
+	// Trajectory is the per-epoch TotalCost history, capped at the most
+	// recent trajectoryCap epochs.
+	Trajectory []float64 `json:"cost_trajectory"`
+}
+
+// trajectoryCap bounds the in-memory cost history.
+const trajectoryCap = 4096
+
+// Engine is the online placement engine. All mutating calls are
+// serialized internally; Snapshot is lock-free.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	mig migration.Migrator // effective migrator (budget-wrapped)
+
+	flows   model.Workload // live per-flow rates, indexed as Base
+	cache   *model.WorkloadCache
+	p       model.Placement
+	pending map[int]float64 // coalesced flow → rate for the next epoch
+
+	epoch          int
+	committedCost  float64
+	committedEpoch int
+	lastMigEpoch   int // epoch of the last commit; -1 before any
+
+	met  Metrics
+	snap atomic.Pointer[Snapshot]
+}
+
+// New validates the configuration, computes (or adopts) the initial
+// placement, builds the aggregated cost cache, and publishes the first
+// snapshot.
+func New(cfg Config) (*Engine, error) {
+	if cfg.PPDC == nil {
+		return nil, fmt.Errorf("engine: nil PPDC")
+	}
+	if cfg.SFC.Len() < 1 {
+		return nil, fmt.Errorf("engine: empty SFC")
+	}
+	if cfg.Mu < 0 {
+		return nil, fmt.Errorf("engine: negative μ %v", cfg.Mu)
+	}
+	if len(cfg.Base) == 0 {
+		return nil, fmt.Errorf("engine: empty workload")
+	}
+	if err := cfg.Base.Validate(cfg.PPDC); err != nil {
+		return nil, err
+	}
+	if cfg.Migrator == nil {
+		cfg.Migrator = migration.MPareto{}
+	}
+	if cfg.Policy.RebuildFraction == 0 {
+		cfg.Policy.RebuildFraction = 0.5
+	}
+	e := &Engine{
+		cfg:          cfg,
+		mig:          cfg.Migrator,
+		flows:        append(model.Workload(nil), cfg.Base...),
+		pending:      make(map[int]float64),
+		lastMigEpoch: -1,
+	}
+	if cfg.Policy.Budget > 0 {
+		e.mig = migration.Budgeted{Inner: cfg.Migrator, Budget: cfg.Policy.Budget}
+	}
+	e.cache = cfg.PPDC.NewWorkloadCache(e.flows)
+	if cfg.Initial != nil {
+		if err := cfg.Initial.Validate(cfg.PPDC, cfg.SFC); err != nil {
+			return nil, fmt.Errorf("engine: initial placement: %w", err)
+		}
+		e.p = cfg.Initial.Clone()
+	} else {
+		placer := cfg.Placer
+		if placer == nil {
+			placer = placement.DP{}
+		}
+		p0, _, err := placer.Place(cfg.PPDC, e.flows, cfg.SFC)
+		if err != nil {
+			return nil, fmt.Errorf("engine: initial placement: %w", err)
+		}
+		e.p = p0
+	}
+	e.committedCost = e.cache.CommCost(e.p)
+	e.publish(e.committedCost)
+	return e, nil
+}
+
+// MigratorName identifies the effective (policy-wrapped) migrator.
+func (e *Engine) MigratorName() string { return e.mig.Name() }
+
+// Flows returns the number of flows the engine addresses.
+func (e *Engine) Flows() int { return len(e.cfg.Base) }
+
+// OfferRates ingests a batch of rate updates into the pending set of the
+// next epoch, coalescing repeated updates to one flow (last write wins).
+// It returns the number of updates accepted. The whole batch is validated
+// before any of it lands, so a bad update never half-applies a batch.
+func (e *Engine) OfferRates(updates []RateUpdate) (int, error) {
+	for _, u := range updates {
+		if u.Flow < 0 || u.Flow >= len(e.cfg.Base) {
+			return 0, fmt.Errorf("engine: flow %d out of range [0,%d)", u.Flow, len(e.cfg.Base))
+		}
+		if u.Rate < 0 || math.IsNaN(u.Rate) || math.IsInf(u.Rate, 0) {
+			return 0, fmt.Errorf("engine: flow %d: invalid rate %v", u.Flow, u.Rate)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, u := range updates {
+		e.pending[u.Flow] = u.Rate
+	}
+	e.met.UpdatesAccepted += int64(len(updates))
+	return len(updates), nil
+}
+
+// Step closes the current epoch: it folds the pending updates into the
+// cost cache, evaluates the drift trigger, possibly consults the migrator
+// and commits a migration, and publishes the new snapshot.
+func (e *Engine) Step() (StepResult, error) {
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	e.applyPending()
+	e.epoch++
+	res := StepResult{Epoch: e.epoch}
+
+	curCost := e.cache.CommCost(e.p)
+	res.TotalCost = curCost
+
+	hys := e.cfg.Policy.Hysteresis
+	drifted := hys <= 0 || curCost > hys*e.committedCost
+	cooled := e.cfg.Policy.Cooldown <= 0 ||
+		e.lastMigEpoch < 0 ||
+		e.epoch-e.lastMigEpoch > e.cfg.Policy.Cooldown
+	if drifted && cooled {
+		m, ct, err := e.mig.Migrate(e.cfg.PPDC, e.flows, e.cfg.SFC, e.p, e.cfg.Mu)
+		if err != nil {
+			e.epoch-- // the epoch did not close; pending already folded
+			return StepResult{}, fmt.Errorf("engine: epoch %d: %w", e.epoch+1, err)
+		}
+		res.Consulted = true
+		e.met.Consults++
+		res.TotalCost = ct
+		if moves := migration.MigrationCount(e.p, m); moves > 0 {
+			res.Migrated = true
+			res.Moves = moves
+			res.MigCost = e.cfg.PPDC.MigrationCost(e.p, m, e.cfg.Mu)
+			e.p = m.Clone()
+			curCost = e.cache.CommCost(e.p)
+			e.committedCost = curCost
+			e.committedEpoch = e.epoch
+			e.lastMigEpoch = e.epoch
+			e.met.Migrations++
+			e.met.Moves += moves
+		}
+	}
+	res.CommCost = curCost
+	res.Placement = e.p.Clone()
+
+	e.met.Epochs = e.epoch
+	e.met.LastEpoch = time.Since(start)
+	e.met.TotalEpoch += e.met.LastEpoch
+	if len(e.met.Trajectory) == trajectoryCap {
+		e.met.Trajectory = append(e.met.Trajectory[:0], e.met.Trajectory[1:]...)
+	}
+	e.met.Trajectory = append(e.met.Trajectory, res.TotalCost)
+	res.Elapsed = e.met.LastEpoch
+	e.publish(curCost)
+	return res, nil
+}
+
+// applyPending folds the coalesced pending updates into flows and the
+// cache, choosing between the per-pair delta path and a full rebuild.
+// Flows are visited in index order so the fold is deterministic.
+// Called with e.mu held.
+func (e *Engine) applyPending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(e.pending))
+	for i := range e.pending {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+
+	// Per-(src,dst) rate deltas, first-appearance order over sorted flows.
+	type pairDelta struct {
+		src, dst int
+		dr       float64
+	}
+	var deltas []pairDelta
+	where := make(map[[2]int]int, len(idxs))
+	for _, i := range idxs {
+		r := e.pending[i]
+		f := &e.flows[i]
+		if r == f.Rate {
+			continue
+		}
+		dr := r - f.Rate
+		f.Rate = r
+		key := [2]int{f.Src, f.Dst}
+		if j, ok := where[key]; ok {
+			deltas[j].dr += dr
+		} else {
+			where[key] = len(deltas)
+			deltas = append(deltas, pairDelta{f.Src, f.Dst, dr})
+		}
+	}
+	clear(e.pending)
+	if len(deltas) == 0 {
+		return
+	}
+
+	pairs := len(e.cache.Aggregated())
+	if pairs == 0 {
+		pairs = 1
+	}
+	if float64(len(deltas)) > e.cfg.Policy.RebuildFraction*float64(pairs) {
+		e.cache.SetWorkload(e.flows)
+		e.met.RebuildEpochs++
+		return
+	}
+	for _, d := range deltas {
+		i := e.cache.EnsurePair(d.src, d.dst)
+		e.cache.ApplyDelta(i, e.cache.PairRate(i)+d.dr)
+	}
+	e.met.DeltaPairs += int64(len(deltas))
+	e.met.DeltaEpochs++
+}
+
+// publish swaps the reader snapshot. Called with e.mu held.
+func (e *Engine) publish(curCost float64) {
+	e.snap.Store(&Snapshot{
+		Epoch:          e.epoch,
+		Placement:      e.p.Clone(),
+		CommCost:       curCost,
+		CommittedCost:  e.committedCost,
+		CommittedEpoch: e.committedEpoch,
+		Migrations:     e.met.Migrations,
+	})
+}
+
+// Snapshot returns the last published placement view without taking the
+// engine lock; safe to call concurrently with OfferRates and Step.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Metrics returns a copy of the engine counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.met
+	m.Trajectory = append([]float64(nil), e.met.Trajectory...)
+	return m
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+// fixture builds a seeded k=4 fat-tree scenario: 24 clustered flows, a
+// 3-VNF chain, and the PaperBurst hourly schedule as the rate stream.
+func fixture(t testing.TB, seed int64) (*model.PPDC, model.Workload, [][]float64) {
+	t.Helper()
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(seed))
+	base := workload.MustPairsClustered(ft, 24, 4, workload.DefaultIntraRack, rng)
+	sched, err := workload.PaperBurst().Schedule(ft, base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		base[i].Rate = sched[0][i]
+	}
+	return d, base, sched
+}
+
+func newEngine(t testing.TB, pol Policy, seed int64) (*Engine, [][]float64) {
+	t.Helper()
+	d, base, sched := fixture(t, seed)
+	e, err := New(Config{
+		PPDC:   d,
+		SFC:    model.NewSFC(3),
+		Base:   base,
+		Mu:     1e3,
+		Policy: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sched
+}
+
+func hourUpdates(rates []float64) []RateUpdate {
+	out := make([]RateUpdate, len(rates))
+	for i, r := range rates {
+		out[i] = RateUpdate{Flow: i, Rate: r}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	d, base, _ := fixture(t, 1)
+	ok := Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1}
+	if _, err := New(ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(Config) Config{
+		"nil ppdc":    func(c Config) Config { c.PPDC = nil; return c },
+		"empty sfc":   func(c Config) Config { c.SFC = model.SFC{}; return c },
+		"negative mu": func(c Config) Config { c.Mu = -1; return c },
+		"no flows":    func(c Config) Config { c.Base = nil; return c },
+		"bad initial": func(c Config) Config { c.Initial = model.Placement{-1, -1, -1}; return c },
+		"bad workload": func(c Config) Config {
+			c.Base = model.Workload{{Src: -1, Dst: 0, Rate: 1}}
+			return c
+		},
+	} {
+		if _, err := New(mut(ok)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestOfferRatesValidatesWholeBatch(t *testing.T) {
+	e, _ := newEngine(t, Policy{}, 1)
+	bad := [][]RateUpdate{
+		{{Flow: -1, Rate: 1}},
+		{{Flow: e.Flows(), Rate: 1}},
+		{{Flow: 0, Rate: -1}},
+		{{Flow: 0, Rate: math.NaN()}},
+		{{Flow: 0, Rate: math.Inf(1)}},
+		{{Flow: 0, Rate: 5}, {Flow: 1, Rate: -2}}, // one bad update poisons the batch
+	}
+	for i, b := range bad {
+		if _, err := e.OfferRates(b); err == nil {
+			t.Errorf("batch %d accepted", i)
+		}
+	}
+	// The poisoned batch must not have half-applied.
+	if n, err := e.OfferRates(nil); err != nil || n != 0 {
+		t.Fatalf("empty batch: %d, %v", n, err)
+	}
+	res, err := e.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d", res.Epoch)
+	}
+}
+
+// TestAlwaysPolicyMatchesDirectMigratorLoop: with the always-consult
+// policy the engine's epoch loop is exactly the batch simulator's hourly
+// loop — identical calls, identical reported costs, identical placements.
+func TestAlwaysPolicyMatchesDirectMigratorLoop(t *testing.T) {
+	e, sched := newEngine(t, Policy{}, 2)
+	d, base, _ := fixture(t, 2)
+	mig := migration.MPareto{}
+	p := e.Snapshot().Placement
+
+	for h, rates := range sched {
+		if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := base.WithRates(rates)
+		m, ct, err := mig.Migrate(d, w, model.NewSFC(3), p, 1e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consulted {
+			t.Fatalf("hour %d: always policy skipped the migrator", h+1)
+		}
+		if res.TotalCost != ct {
+			t.Fatalf("hour %d: engine cost %v != direct loop %v", h+1, res.TotalCost, ct)
+		}
+		if !res.Placement.Equal(m) {
+			t.Fatalf("hour %d: engine placement %v != direct loop %v", h+1, res.Placement, m)
+		}
+		p = m
+	}
+}
+
+// TestDriftTriggerGatesMigration: with hysteresis the migrator runs only
+// on drift, migrations still happen on this bursty schedule, and the cost
+// trajectory stays between the always-migrate and never-migrate runs.
+func TestDriftTriggerGatesMigration(t *testing.T) {
+	always, sched := newEngine(t, Policy{}, 3)
+	drift, _ := newEngine(t, Policy{Hysteresis: 1.1}, 3)
+	frozen, _ := newEngine(t, Policy{Hysteresis: math.Inf(1)}, 3)
+
+	var totAlways, totDrift, totFrozen float64
+	for _, rates := range sched {
+		for _, e := range []*Engine{always, drift, frozen} {
+			if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ra, err := always.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := drift.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := frozen.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totAlways += ra.TotalCost
+		totDrift += rd.TotalCost
+		totFrozen += rf.TotalCost
+		if rf.Consulted {
+			t.Fatal("infinite hysteresis consulted the migrator")
+		}
+	}
+	ma, md, mf := always.Metrics(), drift.Metrics(), frozen.Metrics()
+	if mf.Migrations != 0 {
+		t.Fatalf("frozen engine migrated %d times", mf.Migrations)
+	}
+	if md.Migrations == 0 {
+		t.Fatal("drift trigger never fired on the burst schedule")
+	}
+	if md.Consults >= ma.Consults {
+		t.Fatalf("drift consults %d not below always consults %d", md.Consults, ma.Consults)
+	}
+	// Hysteresis trades some cost for stability; it must stay within the
+	// frozen bound and the always run must not lose to it.
+	if totDrift > totFrozen*1.0001 {
+		t.Fatalf("drift total %v worse than frozen %v", totDrift, totFrozen)
+	}
+	if totAlways > totDrift*1.0001 {
+		t.Fatalf("always total %v worse than drift %v", totAlways, totDrift)
+	}
+}
+
+// TestCooldownSpacesMigrations: after a commit the trigger stays quiet for
+// Cooldown epochs no matter the drift.
+func TestCooldownSpacesMigrations(t *testing.T) {
+	const cd = 3
+	e, sched := newEngine(t, Policy{Hysteresis: 1.01, Cooldown: cd}, 4)
+	last := -1
+	for _, rates := range sched {
+		if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Migrated {
+			if last >= 0 && res.Epoch-last <= cd {
+				t.Fatalf("migrations at epochs %d and %d violate cooldown %d", last, res.Epoch, cd)
+			}
+			last = res.Epoch
+		}
+	}
+	if last < 0 {
+		t.Fatal("no migration at all under mild hysteresis")
+	}
+}
+
+// TestBudgetCapsEpochMoves: the per-migration budget holds at every epoch.
+// Budget 2 on a 3-VNF chain is binding (the unbudgeted run moves all
+// three at once) yet still usable — single moves never pay on this chain,
+// so a budget of 1 would correctly freeze the placement instead.
+func TestBudgetCapsEpochMoves(t *testing.T) {
+	e, sched := newEngine(t, Policy{Budget: 2}, 5)
+	if e.MigratorName() != "mPareto(budget=2)" {
+		t.Fatalf("migrator %q", e.MigratorName())
+	}
+	moved := 0
+	for _, rates := range sched {
+		if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moves > 2 {
+			t.Fatalf("epoch %d moved %d VNFs over budget 2", res.Epoch, res.Moves)
+		}
+		moved += res.Moves
+	}
+	if moved == 0 {
+		t.Fatal("budgeted engine never moved")
+	}
+}
+
+// TestDeltaVsRebuildPaths: sparse epochs take the ApplyDelta path, dense
+// epochs rebuild, and both keep the cache equal to a scalar re-evaluation.
+func TestDeltaVsRebuildPaths(t *testing.T) {
+	e, sched := newEngine(t, Policy{Hysteresis: math.Inf(1)}, 6)
+	d, base, _ := fixture(t, 6)
+	w := base.WithRates(sched[0])
+
+	// Dense epoch: every flow changes → rebuild.
+	if _, err := e.OfferRates(hourUpdates(sched[1])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithRates(sched[1])
+	// Sparse epochs: one flow at a time → delta path.
+	for i := 0; i < 5; i++ {
+		w[i].Rate += 7
+		if _, err := e.OfferRates([]RateUpdate{{Flow: i, Rate: w[i].Rate}}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.CommCost(w, res.Placement)
+		if math.Abs(res.CommCost-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("sparse epoch %d: cache cost %v != scalar %v", i, res.CommCost, want)
+		}
+	}
+	m := e.Metrics()
+	if m.RebuildEpochs == 0 || m.DeltaEpochs != 5 || m.DeltaPairs == 0 {
+		t.Fatalf("path counters: %+v", m)
+	}
+}
+
+// TestSnapshotAndMetrics: snapshots are consistent and metrics monotonic.
+func TestSnapshotAndMetrics(t *testing.T) {
+	e, sched := newEngine(t, Policy{}, 7)
+	s0 := e.Snapshot()
+	if s0.Epoch != 0 || s0.Migrations != 0 || len(s0.Placement) != 3 {
+		t.Fatalf("initial snapshot %+v", s0)
+	}
+	for h, rates := range sched {
+		if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := e.Snapshot()
+		if s.Epoch != h+1 || !s.Placement.Equal(res.Placement) {
+			t.Fatalf("hour %d: snapshot %+v vs result %+v", h+1, s, res)
+		}
+		if s.CommCost != res.CommCost {
+			t.Fatalf("hour %d: snapshot cost %v != result %v", h+1, s.CommCost, res.CommCost)
+		}
+	}
+	m := e.Metrics()
+	if m.Epochs != len(sched) || len(m.Trajectory) != len(sched) {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.Consults != len(sched) {
+		t.Fatalf("always policy consults %d != %d", m.Consults, len(sched))
+	}
+	// The returned metrics are a copy: mutating them must not leak back.
+	m.Trajectory[0] = -1
+	if e.Metrics().Trajectory[0] == -1 {
+		t.Fatal("Metrics returned shared trajectory storage")
+	}
+}
+
+// TestStateRoundTrip: State → JSON → Resume reproduces the engine —
+// identical snapshot, and identical behaviour on the remaining stream.
+func TestStateRoundTrip(t *testing.T) {
+	pol := Policy{Hysteresis: 1.05, Cooldown: 1}
+	a, sched := newEngine(t, pol, 8)
+	half := len(sched) / 2
+	for _, rates := range sched[:half] {
+		if _, err := a.OfferRates(hourUpdates(rates)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, base, _ := fixture(t, 8)
+	b, err := ResumeJSON(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3, Policy: pol}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Epoch != sb.Epoch || !sa.Placement.Equal(sb.Placement) ||
+		sa.CommittedEpoch != sb.CommittedEpoch || sa.Migrations != sb.Migrations {
+		t.Fatalf("resumed snapshot %+v != original %+v", sb, sa)
+	}
+	if math.Abs(sa.CommCost-sb.CommCost) > 1e-9*math.Max(1, sa.CommCost) {
+		t.Fatalf("resumed cost %v != %v", sb.CommCost, sa.CommCost)
+	}
+	for h, rates := range sched[half:] {
+		for _, e := range []*Engine{a, b} {
+			if _, err := e.OfferRates(hourUpdates(rates)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ra, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.Placement.Equal(rb.Placement) || ra.Migrated != rb.Migrated {
+			t.Fatalf("post-resume hour %d diverged: %+v vs %+v", h+1, ra, rb)
+		}
+		if math.Abs(ra.TotalCost-rb.TotalCost) > 1e-9*math.Max(1, ra.TotalCost) {
+			t.Fatalf("post-resume hour %d cost %v != %v", h+1, rb.TotalCost, ra.TotalCost)
+		}
+	}
+
+	// Corrupt states are rejected.
+	if _, err := ResumeJSON(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3}, []byte("{")); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if _, err := Resume(Config{PPDC: d, SFC: model.NewSFC(3), Base: base[:3], Mu: 1e3}, a.State()); err == nil {
+		t.Fatal("mismatched flow count accepted")
+	}
+	if _, err := Resume(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3}, &State{Rates: make([]float64, len(base))}); err == nil {
+		t.Fatal("state without placement accepted")
+	}
+}

@@ -109,6 +109,51 @@ func TestPeriodicActsOnSchedule(t *testing.T) {
 	}
 }
 
+func TestBudgetedCapsMoves(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d, w, sfc, p := policyScenario(t, seed)
+		const mu = 10
+		inner, innerCt, err := (MPareto{}).Migrate(d, w, sfc, p, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		innerMoves := MigrationCount(p, inner)
+		stay := d.CommCost(w, p)
+		for budget := 0; budget <= len(p); budget++ {
+			bu := Budgeted{Inner: MPareto{}, Budget: budget}
+			m, ct, err := bu.Migrate(d, w, sfc, p, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if budget > 0 && MigrationCount(p, m) > budget {
+				t.Fatalf("seed %d: %d moves over budget %d", seed, MigrationCount(p, m), budget)
+			}
+			if err := m.Validate(d, sfc); err != nil {
+				t.Fatalf("seed %d budget %d: invalid trim: %v", seed, budget, err)
+			}
+			if ct > stay+1e-9 {
+				t.Fatalf("seed %d budget %d: trimmed cost %v worse than staying %v", seed, budget, ct, stay)
+			}
+			if want := d.TotalCost(w, p, m, mu); math.Abs(ct-want) > 1e-9*math.Max(1, want) {
+				t.Fatalf("seed %d budget %d: reported %v != C_t %v", seed, budget, ct, want)
+			}
+			// An unconstrained (or non-binding) budget must pass the inner
+			// proposal through untouched.
+			if budget == 0 || budget >= innerMoves {
+				if !m.Equal(inner) || math.Abs(ct-innerCt) > 1e-9 {
+					t.Fatalf("seed %d budget %d: non-binding budget altered proposal", seed, budget)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetedName(t *testing.T) {
+	if n := (Budgeted{Inner: MPareto{}, Budget: 2}).Name(); n != "mPareto(budget=2)" {
+		t.Fatalf("name %q", n)
+	}
+}
+
 func TestPeriodicZeroValueActsAlways(t *testing.T) {
 	d, w, sfc, p := policyScenario(t, 5)
 	pr := &Periodic{Inner: NoMigration{}}

@@ -25,12 +25,18 @@ package model
 //
 // The cache snapshots the workload. When rates move — the TOM
 // dynamic-rates path mutates λ every simulated hour — call SetWorkload
-// with the updated workload to invalidate and rebuild (O(l + H·|V|)).
+// with the updated workload to invalidate and rebuild (O(l + H·|V|)), or,
+// when only a few host pairs changed, ApplyDelta each changed pair in
+// O(|V|) without touching the rest of the aggregates. The online engine
+// (internal/engine) uses the delta path for sparse epoch updates and
+// falls back to SetWorkload when an epoch touches most pairs.
 type WorkloadCache struct {
 	d *PPDC
 	// pairs is the (src,dst)-aggregated workload; its Rate fields hold the
 	// summed λ of all flows sharing that host pair.
 	pairs Workload
+	// pairIdx maps a (src,dst) host pair to its index in pairs.
+	pairIdx map[[2]int]int
 	// ingress[v] = Σ_i λ_i c(s_i, v); egress[v] = Σ_i λ_i c(v, t_i),
 	// aggregated per distinct source/dest host.
 	ingress, egress []float64
@@ -53,17 +59,17 @@ func (d *PPDC) NewWorkloadCache(w Workload) *WorkloadCache {
 func (c *WorkloadCache) SetWorkload(w Workload) {
 	n := c.d.Topo.Graph.Order()
 	// Group flows by (src, dst) host pair, first-appearance order.
-	pairIdx := make(map[[2]int]int, len(w))
+	c.pairIdx = make(map[[2]int]int, len(w))
 	c.pairs = c.pairs[:0]
 	for _, f := range w {
 		if f.Rate == 0 {
 			continue
 		}
 		key := [2]int{f.Src, f.Dst}
-		if i, ok := pairIdx[key]; ok {
+		if i, ok := c.pairIdx[key]; ok {
 			c.pairs[i].Rate += f.Rate
 		} else {
-			pairIdx[key] = len(c.pairs)
+			c.pairIdx[key] = len(c.pairs)
 			c.pairs = append(c.pairs, f)
 		}
 	}
@@ -113,6 +119,67 @@ func (c *WorkloadCache) SetWorkload(w Workload) {
 		for v := 0; v < n; v++ {
 			c.egress[v] += t.rate * row[v]
 		}
+	}
+}
+
+// PairIndex returns the aggregated-pair index of the (src, dst) host pair,
+// or -1 when the pair is not in the cache (it had zero rate at the last
+// rebuild and has not been added since).
+func (c *WorkloadCache) PairIndex(src, dst int) int {
+	if i, ok := c.pairIdx[[2]int{src, dst}]; ok {
+		return i
+	}
+	return -1
+}
+
+// EnsurePair returns the aggregated-pair index of (src, dst), appending a
+// zero-rate pair when absent so a subsequent ApplyDelta can raise it. The
+// returned index stays valid until the next SetWorkload, which compacts
+// zero-rate pairs away.
+func (c *WorkloadCache) EnsurePair(src, dst int) int {
+	key := [2]int{src, dst}
+	if i, ok := c.pairIdx[key]; ok {
+		return i
+	}
+	i := len(c.pairs)
+	c.pairIdx[key] = i
+	c.pairs = append(c.pairs, VMPair{Src: src, Dst: dst})
+	return i
+}
+
+// PairRate returns the aggregated rate of pair pairIdx.
+func (c *WorkloadCache) PairRate(pairIdx int) float64 { return c.pairs[pairIdx].Rate }
+
+// ApplyDelta is the incremental half of the invalidation contract: it sets
+// the aggregated rate of pair pairIdx to newRate, adjusting totalRate, the
+// direct cost, and the two endpoint vectors by the rate difference in
+// O(|V|) — one APSP row sweep per endpoint instead of SetWorkload's full
+// O(l + H·|V|) rebuild. A no-op when the rate is unchanged.
+//
+// Deltas accumulate floating-point error one rounding per update, so a
+// cache driven by a long delta stream agrees with a fresh rebuild to
+// reassociation tolerance (≈1e-9 relative; fuzzed in internal/
+// differential), not bit-for-bit. Callers that need the bit-exact
+// deterministic form (or that changed most pairs at once, where the delta
+// path is slower) should rebuild with SetWorkload.
+func (c *WorkloadCache) ApplyDelta(pairIdx int, newRate float64) {
+	p := &c.pairs[pairIdx]
+	dr := newRate - p.Rate
+	if dr == 0 {
+		return
+	}
+	p.Rate = newRate
+	c.totalRate += dr
+	c.direct += dr * c.d.APSP.Cost(p.Src, p.Dst)
+	n := len(c.ingress)
+	srcRow := c.d.APSP.Row(p.Src)
+	for v := 0; v < n; v++ {
+		c.ingress[v] += dr * srcRow[v]
+	}
+	// Undirected PPDC: c(v, t) = c(t, v), same as the SetWorkload sweep.
+	dstRow := c.d.APSP.Row(p.Dst)
+	for v := 0; v < n; v++ {
+		c.egress[v] += dr * dstRow[v]
 	}
 }
 

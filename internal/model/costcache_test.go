@@ -125,6 +125,81 @@ func TestWorkloadCacheSetWorkload(t *testing.T) {
 	}
 }
 
+// TestWorkloadCacheApplyDelta: any sequence of per-pair deltas leaves the
+// cache equal (to reassociation tolerance) to a fresh rebuild of the
+// resulting workload — the contract the online engine's epoch loop relies
+// on. Covers rate raises, drops to zero, and pairs born at zero rate via
+// EnsurePair.
+func TestWorkloadCacheApplyDelta(t *testing.T) {
+	d, w, rng := cacheFixture(t)
+	c := d.NewWorkloadCache(w)
+	hosts := d.Hosts()
+	p := randomPlacement(d, 3, rng)
+
+	for round := 0; round < 200; round++ {
+		switch rng.Intn(4) {
+		case 0: // raise or lower an existing pair
+			i := rng.Intn(len(c.Aggregated()))
+			c.ApplyDelta(i, rng.Float64()*200)
+		case 1: // drop a pair to zero
+			i := rng.Intn(len(c.Aggregated()))
+			c.ApplyDelta(i, 0)
+		case 2: // touch (possibly create) an arbitrary host pair
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			i := c.EnsurePair(src, dst)
+			if got := c.PairIndex(src, dst); got != i {
+				t.Fatalf("round %d: PairIndex %d != EnsurePair %d", round, got, i)
+			}
+			c.ApplyDelta(i, rng.Float64()*50)
+		case 3: // no-op delta must not drift the aggregates
+			i := rng.Intn(len(c.Aggregated()))
+			c.ApplyDelta(i, c.PairRate(i))
+		}
+	}
+
+	// The aggregated pairs (zero-rate entries included) are the workload
+	// the deltas have built; a fresh rebuild of it is the oracle.
+	fresh := d.NewWorkloadCache(c.Aggregated())
+	if !closeRel(c.TotalRate(), fresh.TotalRate()) {
+		t.Fatalf("TotalRate %v != rebuilt %v", c.TotalRate(), fresh.TotalRate())
+	}
+	if got, want := c.CommCost(nil), fresh.CommCost(nil); !closeRel(got, want) {
+		t.Fatalf("direct cost %v != rebuilt %v", got, want)
+	}
+	in, eg := c.EndpointCosts()
+	inF, egF := fresh.EndpointCosts()
+	for v := range in {
+		if !closeRel(in[v], inF[v]) || !closeRel(eg[v], egF[v]) {
+			t.Fatalf("endpoint vectors diverge at %d: (%v,%v) vs (%v,%v)", v, in[v], eg[v], inF[v], egF[v])
+		}
+	}
+	if got, want := c.CommCost(p), fresh.CommCost(p); !closeRel(got, want) {
+		t.Fatalf("C_a %v != rebuilt %v", got, want)
+	}
+}
+
+// TestWorkloadCachePairIndexMissing: unknown pairs report -1 and a rebuild
+// restores the compacted index.
+func TestWorkloadCachePairIndexMissing(t *testing.T) {
+	d, _, _ := cacheFixture(t)
+	h := d.Hosts()
+	c := d.NewWorkloadCache(Workload{{Src: h[0], Dst: h[1], Rate: 2}})
+	if got := c.PairIndex(h[1], h[0]); got != -1 {
+		t.Fatalf("reversed pair index %d, want -1", got)
+	}
+	i := c.EnsurePair(h[1], h[0])
+	c.ApplyDelta(i, 3)
+	c.ApplyDelta(i, 0)
+	c.SetWorkload(c.Aggregated()) // compacts the now-zero pair away
+	if got := c.PairIndex(h[1], h[0]); got != -1 {
+		t.Fatalf("zero-rate pair survived rebuild at index %d", got)
+	}
+	if got := c.PairIndex(h[0], h[1]); got != 0 {
+		t.Fatalf("live pair index %d, want 0", got)
+	}
+}
+
 // TestWorkloadCacheDeterministic: two caches over the same workload are
 // bit-identical — aggregation runs in slice order, never map order.
 func TestWorkloadCacheDeterministic(t *testing.T) {

@@ -7,12 +7,17 @@
 // The simulator realizes the paper's framework lifecycle: TOP computes the
 // initial placement at the first active hour, then the chosen TOM policy
 // executes periodically "to optimize a PPDC's network resource in the face
-// of dynamic VM traffic".
+// of dynamic VM traffic". The VNF runs are driven through the online
+// placement engine (internal/engine) — one epoch per hour — so the batch
+// figures and the vnfoptd control plane exercise a single code path;
+// RunEngine exposes the engine's drift/cooldown/budget policy for offline
+// replays of online configurations.
 package sim
 
 import (
 	"fmt"
 
+	"vnfopt/internal/engine"
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
 	"vnfopt/internal/placement"
@@ -178,30 +183,74 @@ func (s *Simulator) track(step *Step, w model.Workload, pPrev, pCur model.Placem
 }
 
 // RunVNF simulates the schedule with a TOM migrator adapting the
-// placement every hour.
+// placement every hour. It is RunEngine with the always-consult policy:
+// the migrator runs every hour, exactly the paper's periodic TOM
+// execution.
 func (s *Simulator) RunVNF(mig migration.Migrator) (*Trace, error) {
-	tr := &Trace{Strategy: mig.Name(), Initial: s.Initial()}
+	return s.RunEngine(mig, engine.Policy{})
+}
+
+// RunEngine drives the schedule through the online placement engine —
+// the same control loop cmd/vnfoptd serves — one epoch per hour, under
+// the given migration policy. The zero policy consults the migrator every
+// hour and reproduces the pre-engine batch loop bit-for-bit; a hysteresis
+// policy gives the drift-triggered behaviour of the online system, making
+// offline schedule replays the reference for what the daemon should have
+// done on the same stream.
+func (s *Simulator) RunEngine(mig migration.Migrator, pol engine.Policy) (*Trace, error) {
+	first := s.firstActive()
+	eng, err := engine.New(engine.Config{
+		PPDC:     s.cfg.PPDC,
+		SFC:      s.cfg.SFC,
+		Base:     s.hours[first],
+		Mu:       s.cfg.Mu,
+		Initial:  s.p0,
+		Migrator: mig,
+		Policy:   pol,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: engine: %w", err)
+	}
+	tr := &Trace{Strategy: eng.MigratorName(), Initial: s.Initial()}
 	p := s.p0.Clone()
+	updates := make([]engine.RateUpdate, len(s.cfg.Base))
 	for h := range s.hours {
 		w := s.hours[h]
-		m, ct, err := mig.Migrate(s.cfg.PPDC, w, s.cfg.SFC, p, s.cfg.Mu)
+		for i, f := range w {
+			updates[i] = engine.RateUpdate{Flow: i, Rate: f.Rate}
+		}
+		if _, err := eng.OfferRates(updates); err != nil {
+			return nil, fmt.Errorf("sim: hour %d: %w", h+1, err)
+		}
+		res, err := eng.Step()
 		if err != nil {
-			return nil, fmt.Errorf("sim: %s hour %d: %w", mig.Name(), h+1, err)
+			return nil, fmt.Errorf("sim: %s hour %d: %w", eng.MigratorName(), h+1, err)
 		}
 		step := Step{
 			Hour:        h + 1,
-			Cost:        ct,
-			Moves:       migration.MigrationCount(p, m),
-			MeanLatency: s.meanLatency(w, m),
+			Cost:        res.TotalCost,
+			Moves:       res.Moves,
+			MeanLatency: s.meanLatency(w, res.Placement),
 		}
-		if err := s.track(&step, w, p, m); err != nil {
+		if err := s.track(&step, w, p, res.Placement); err != nil {
 			return nil, err
 		}
 		tr.record(step)
-		p = m
+		p = res.Placement
 	}
 	tr.Final = p
 	return tr, nil
+}
+
+// firstActive returns the index of the first hour with traffic (New
+// guarantees one exists).
+func (s *Simulator) firstActive() int {
+	for h := range s.hours {
+		if s.hours[h].TotalRate() > 0 {
+			return h
+		}
+	}
+	return 0
 }
 
 // RunVM simulates the schedule with a VM-migration baseline: VNFs stay at

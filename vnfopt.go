@@ -33,6 +33,7 @@ package vnfopt
 import (
 	"math/rand"
 
+	"vnfopt/internal/engine"
 	"vnfopt/internal/graph"
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
@@ -346,6 +347,39 @@ type SimTrace = sim.Trace
 // placement.
 func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
 
+// --- Online placement engine -----------------------------------------------
+
+// Engine is the long-running online counterpart of the batch simulator: it
+// owns a PPDC plus a live workload, ingests streaming per-pair rate
+// updates, maintains C_a incrementally, and runs a drift-triggered TOM
+// loop (see internal/engine and docs/ENGINE.md).
+type Engine = engine.Engine
+
+// EngineConfig describes an engine scenario.
+type EngineConfig = engine.Config
+
+// EnginePolicy tunes the TOM control loop: hysteresis drift trigger,
+// migration cooldown, and per-epoch move budget.
+type EnginePolicy = engine.Policy
+
+// RateUpdate is one streaming per-flow rate observation.
+type RateUpdate = engine.RateUpdate
+
+// EngineSnapshot is the engine's lock-free read model.
+type EngineSnapshot = engine.Snapshot
+
+// EngineStepResult reports one epoch of the control loop.
+type EngineStepResult = engine.StepResult
+
+// NewEngine validates a scenario and returns a running engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// ResumeEngine restores an engine from a durable state snapshot
+// (Engine.MarshalState / vnfoptd GET /v1/scenarios/{id}/state).
+func ResumeEngine(cfg EngineConfig, stateJSON []byte) (*Engine, error) {
+	return engine.ResumeJSON(cfg, stateJSON)
+}
+
 // --- Migration policies (extensions) --------------------------------------
 
 // TriggeredMigration wraps a migrator with a hysteresis trigger: accept a
@@ -358,6 +392,13 @@ func TriggeredMigration(inner Migrator, hysteresis float64) Migrator {
 // PeriodicMigration wraps a migrator to act only every interval-th call.
 func PeriodicMigration(inner Migrator, interval int) Migrator {
 	return &migration.Periodic{Inner: inner, Interval: interval}
+}
+
+// BudgetedMigration wraps a migrator with a hard per-call move budget:
+// when the inner proposal exceeds budget moves, the cheapest reversals are
+// applied until it fits (or it degrades to staying put).
+func BudgetedMigration(inner Migrator, budget int) Migrator {
+	return migration.Budgeted{Inner: inner, Budget: budget}
 }
 
 // PredictiveMigration wraps a migrator with an EWMA traffic forecaster:
