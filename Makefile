@@ -6,12 +6,16 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-kernels fuzz
+.PHONY: check vet fmt build test race bench bench-smoke bench-kernels fuzz
 
-check: vet build race
+check: vet fmt build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean (gofmt -l prints offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,6 +25,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# One-iteration engine benchmark: proves the hot loop (and its nil- vs
+# live-observer variants) still compiles and runs, without bench noise.
+bench-smoke:
+	$(GO) test -run NONE -bench BenchmarkEngine -benchtime 1x ./internal/engine/
 
 # Full figure/ablation benchmark sweep (minutes).
 bench:

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// errorCode is the machine-readable error class of the daemon's uniform
+// error envelope. Every failing route answers
+//
+//	{"error": {"code": "<code>", "message": "<human text>"}}
+//
+// with the HTTP status derived from the code by httpStatus — the single
+// place status mapping lives. The codes are part of the public API and
+// documented in docs/ENGINE.md.
+type errorCode string
+
+const (
+	// codeBadRequest: the request body or parameters could not be parsed.
+	codeBadRequest errorCode = "bad_request"
+	// codeInvalidArgument: the request parsed but describes an invalid
+	// scenario or update (semantic validation failed).
+	codeInvalidArgument errorCode = "invalid_argument"
+	// codeNotFound: no scenario with the requested id.
+	codeNotFound errorCode = "not_found"
+	// codeConflict: a scenario with the requested id already exists.
+	codeConflict errorCode = "conflict"
+	// codeInternal: the engine failed while processing a valid request.
+	codeInternal errorCode = "internal"
+)
+
+// httpStatus maps an error code to its HTTP status. Unknown codes are
+// treated as internal errors rather than guessed at.
+func httpStatus(c errorCode) int {
+	switch c {
+	case codeBadRequest:
+		return http.StatusBadRequest
+	case codeInvalidArgument:
+		return http.StatusUnprocessableEntity
+	case codeNotFound:
+		return http.StatusNotFound
+	case codeConflict:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// apiError is the envelope payload.
+type apiError struct {
+	Code    errorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// errorEnvelope is the uniform error body.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the uniform error envelope for code.
+func writeError(w http.ResponseWriter, code errorCode, format string, args ...any) {
+	writeJSON(w, httpStatus(code), errorEnvelope{Error: apiError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

@@ -16,8 +16,11 @@
 //	POST   /v1/scenarios/{id}/step      close the epoch / run the TOM loop
 //	GET    /v1/scenarios/{id}/placement lock-free placement snapshot
 //	GET    /v1/scenarios/{id}/state     durable engine state (JSON)
-//	GET    /metrics                     per-scenario engine counters
+//	GET    /v1/scenarios/{id}/metrics   per-scenario engine counters (JSON)
+//	GET    /v1/scenarios/{id}/events    bounded event ring (migrations, errors)
+//	GET    /metrics                     Prometheus text exposition
 //	GET    /healthz                     liveness
+//	GET    /debug/pprof/*               profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains in-flight requests (bounded by
 // -drain) and, when -snapshot is set, persists every scenario's engine
@@ -29,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,13 +42,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		snapshot = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		addr      = flag.String("addr", ":8080", "listen address")
+		snapshot  = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "slog level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "vnfoptd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+
 	srv := newServer()
+	srv.log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	srv.pprofOpen = *pprofFlag
 	if *snapshot != "" {
 		if err := srv.loadSnapshot(*snapshot); err != nil {
 			fmt.Fprintf(os.Stderr, "vnfoptd: restore: %v\n", err)

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"vnfopt/internal/obs"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// request middleware can label its metrics and logs with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route's handler with request accounting: a
+// per-route/status counter, a per-route latency histogram, and one
+// structured log line per request. The route label is the mux pattern
+// (e.g. "POST /v1/scenarios/{id}/step"), not the raw URL, so the series
+// cardinality stays bounded.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	seconds := s.reg.Histogram(`vnfoptd_request_seconds{route="` + route + `"}`)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.requests(route, rec.status).Inc()
+		seconds.Observe(elapsed.Seconds())
+		if s.log != nil {
+			s.log.Info("request",
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	}
+}
+
+// requests resolves the per-route/status request counter. Status codes
+// are a small finite set, so resolving on demand (registry lookup, not
+// allocation-free) is fine at HTTP-request frequency.
+func (s *server) requests(route string, status int) *obs.Counter {
+	if s.reg == nil {
+		return nil
+	}
+	return s.reg.Counter(`vnfoptd_requests_total{route="` + route + `",code="` + itoa3(status) + `"}`)
+}
+
+// itoa3 formats a 3-digit HTTP status without strconv allocation noise.
+func itoa3(n int) string {
+	if n < 100 || n > 999 {
+		n = 500
+	}
+	return string([]byte{byte('0' + n/100), byte('0' + n/10%10), byte('0' + n%10)})
+}

@@ -3,8 +3,11 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -12,9 +15,12 @@ import (
 	"time"
 
 	"vnfopt/internal/engine"
+	"vnfopt/internal/graph"
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
+	"vnfopt/internal/obs"
 	"vnfopt/internal/placement"
+	"vnfopt/internal/stroll"
 	"vnfopt/internal/topology"
 	"vnfopt/internal/workload"
 )
@@ -31,6 +37,10 @@ type PairSpec struct {
 // explicitly (Pairs) or generated (Flows/TenantRacks/Seed); State resumes
 // a previously captured engine state on top of the same spec.
 type ScenarioSpec struct {
+	// ID optionally names the scenario; it must be unique among live
+	// scenarios (409 conflict otherwise). Empty lets the server assign
+	// s1, s2, …
+	ID string `json:"id,omitempty"`
 	// Name is an optional label echoed in listings and metrics.
 	Name string `json:"name"`
 	// Topology is "fat-tree" (default) or "leaf-spine".
@@ -59,8 +69,9 @@ type ScenarioSpec struct {
 	State json.RawMessage `json:"state,omitempty"`
 }
 
-// buildEngine materializes a spec into a running engine.
-func buildEngine(spec *ScenarioSpec) (*engine.Engine, error) {
+// buildEngine materializes a spec into a running engine. reg and o may
+// be nil, disabling solver/engine instrumentation respectively.
+func buildEngine(spec *ScenarioSpec, reg *obs.Registry, o *engine.Observer) (*engine.Engine, error) {
 	if spec.Topology == "" {
 		spec.Topology = "fat-tree"
 	}
@@ -142,14 +153,22 @@ func buildEngine(spec *ScenarioSpec) (*engine.Engine, error) {
 		return nil, fmt.Errorf("unknown migrator %q (want mpareto, layereddp, or nomigration)", spec.Migrator)
 	}
 
+	var placer placement.Solver = placement.DP{}
+	if reg != nil {
+		// Solver-level wrappers: every TOP/TOM call is timed under a
+		// per-algorithm label, independent of which scenario made it.
+		placer = obs.InstrumentedSolver{Inner: placer, M: obs.NewSolverMetrics(reg, placer.Name())}
+		mig = obs.InstrumentedMigrator{Inner: mig, M: obs.NewMigratorMetrics(reg, mig.Name())}
+	}
 	cfg := engine.Config{
 		PPDC:     d,
 		SFC:      model.NewSFC(spec.SFCLen),
 		Base:     base,
 		Mu:       spec.Mu,
-		Placer:   placement.DP{},
+		Placer:   placer,
 		Migrator: mig,
 		Policy:   spec.Policy,
+		Observer: o,
 	}
 	if len(spec.State) > 0 {
 		return engine.ResumeJSON(cfg, spec.State)
@@ -165,53 +184,84 @@ type scenario struct {
 	Spec    *ScenarioSpec `json:"spec"`
 	Created time.Time     `json:"created"`
 
-	mu  sync.Mutex
-	eng *engine.Engine
+	mu     sync.Mutex
+	eng    *engine.Engine
+	events *obs.EventLog
 }
 
 // server is the vnfoptd control plane: a registry of scenarios behind an
-// HTTP/JSON API.
+// HTTP/JSON API, plus the process-wide metrics registry every scenario
+// publishes into.
 type server struct {
 	mu        sync.RWMutex
 	scenarios map[string]*scenario
 	nextID    int
 	start     time.Time
+
+	reg       *obs.Registry
+	log       *slog.Logger
+	pprofOpen bool
 }
 
 func newServer() *server {
-	return &server{scenarios: make(map[string]*scenario), start: time.Now()}
+	s := &server{
+		scenarios: make(map[string]*scenario),
+		start:     time.Now(),
+		reg:       obs.NewRegistry(),
+		log:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	s.reg.GaugeFunc("vnfoptd_uptime_seconds", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	// Process-wide search effort: the branch-and-bound engines batch their
+	// expansion counts into package totals; publish them as callback
+	// gauges so exposition always reads the live value.
+	s.reg.GaugeFunc(`vnfopt_search_expansions_total{search="stroll"}`, func() float64 {
+		return float64(stroll.SearchExpansions())
+	})
+	s.reg.GaugeFunc(`vnfopt_search_expansions_total{search="placement"}`, func() float64 {
+		return float64(placement.SearchExpansions())
+	})
+	s.reg.GaugeFunc(`vnfopt_search_expansions_total{search="migration"}`, func() float64 {
+		return float64(migration.SearchExpansions())
+	})
+	apsp := s.reg.Histogram("vnfopt_apsp_build_seconds")
+	apspVerts := s.reg.Gauge("vnfopt_apsp_vertices")
+	graph.SetAPSPObserver(func(vertices, edges, workers int, elapsed time.Duration) {
+		apsp.Observe(elapsed.Seconds())
+		apspVerts.Set(float64(vertices))
+	})
+	return s
 }
 
-// handler builds the route table (Go 1.22 pattern mux).
+// handler builds the route table (Go 1.22 pattern mux). Every route is
+// wrapped in the request middleware (metrics + structured log).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime": time.Since(s.start).String()})
 	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/scenarios", s.handleCreate)
-	mux.HandleFunc("GET /v1/scenarios", s.handleList)
-	mux.HandleFunc("DELETE /v1/scenarios/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/scenarios/{id}/rates", s.handleRates)
-	mux.HandleFunc("POST /v1/scenarios/{id}/step", s.handleStep)
-	mux.HandleFunc("GET /v1/scenarios/{id}/placement", s.handlePlacement)
-	mux.HandleFunc("GET /v1/scenarios/{id}/state", s.handleState)
+	route("GET /metrics", s.handleMetrics)
+	route("POST /v1/scenarios", s.handleCreate)
+	route("GET /v1/scenarios", s.handleList)
+	route("DELETE /v1/scenarios/{id}", s.handleDelete)
+	route("POST /v1/scenarios/{id}/rates", s.handleRates)
+	route("POST /v1/scenarios/{id}/step", s.handleStep)
+	route("GET /v1/scenarios/{id}/placement", s.handlePlacement)
+	route("GET /v1/scenarios/{id}/state", s.handleState)
+	route("GET /v1/scenarios/{id}/metrics", s.handleScenarioMetrics)
+	route("GET /v1/scenarios/{id}/events", s.handleEvents)
+	if s.pprofOpen {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
-}
-
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *server) get(id string) *scenario {
@@ -225,20 +275,39 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad scenario spec: %v", err)
+		writeError(w, codeBadRequest, "bad scenario spec: %v", err)
 		return
 	}
-	eng, err := buildEngine(&spec)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "scenario: %v", err)
-		return
-	}
+	// The whole create — id check, engine build, insert — runs under the
+	// server mutex, so two concurrent creates with the same explicit id
+	// cannot both pass the duplicate check (the old check-then-insert
+	// race). Creates are rare; blocking the registry while the engine
+	// builds is the price of atomicity.
 	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	sc := &scenario{ID: id, Spec: &spec, Created: time.Now(), eng: eng}
+	defer s.mu.Unlock()
+	id := spec.ID
+	if id != "" {
+		if _, dup := s.scenarios[id]; dup {
+			writeError(w, codeConflict, "scenario %q already exists", id)
+			return
+		}
+	} else {
+		for {
+			s.nextID++
+			id = fmt.Sprintf("s%d", s.nextID)
+			if _, dup := s.scenarios[id]; !dup {
+				break
+			}
+		}
+	}
+	events := obs.NewEventLog(0)
+	eng, err := buildEngine(&spec, s.reg, engine.NewObserver(s.reg, events, id))
+	if err != nil {
+		writeError(w, codeInvalidArgument, "scenario: %v", err)
+		return
+	}
+	sc := &scenario{ID: id, Spec: &spec, Created: time.Now(), eng: eng, events: events}
 	s.scenarios[id] = sc
-	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       id,
 		"flows":    eng.Flows(),
@@ -278,7 +347,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.scenarios, id)
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no scenario %q", id)
+		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
@@ -295,17 +364,17 @@ type ratesRequest struct {
 func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 	sc := s.get(r.PathValue("id"))
 	if sc == nil {
-		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
 		return
 	}
 	var req ratesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad rates body: %v", err)
+		writeError(w, codeBadRequest, "bad rates body: %v", err)
 		return
 	}
 	n, err := sc.eng.OfferRates(req.Updates)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, codeInvalidArgument, "%v", err)
 		return
 	}
 	resp := map[string]any{"accepted": n}
@@ -314,7 +383,7 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		res, err := sc.eng.Step()
 		sc.mu.Unlock()
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, codeInternal, "%v", err)
 			return
 		}
 		resp["step"] = res
@@ -325,14 +394,14 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
 	sc := s.get(r.PathValue("id"))
 	if sc == nil {
-		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
 		return
 	}
 	sc.mu.Lock()
 	res, err := sc.eng.Step()
 	sc.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, codeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -341,7 +410,7 @@ func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
 func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	sc := s.get(r.PathValue("id"))
 	if sc == nil {
-		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, sc.eng.Snapshot())
@@ -350,7 +419,7 @@ func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	sc := s.get(r.PathValue("id"))
 	if sc == nil {
-		writeErr(w, http.StatusNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
 		return
 	}
 	sc.mu.Lock()
@@ -359,28 +428,43 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleMetrics serves the whole registry in Prometheus text exposition
+// format 0.0.4. The per-scenario JSON counters that used to live here
+// moved to GET /v1/scenarios/{id}/metrics.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	ids := make([]string, 0, len(s.scenarios))
-	for id := range s.scenarios {
-		ids = append(ids, id)
-	}
-	s.mu.RUnlock()
-	sort.Strings(ids)
-	per := make(map[string]any, len(ids))
-	for _, id := range ids {
-		sc := s.get(id)
-		if sc == nil {
-			continue
-		}
-		per[id] = map[string]any{
-			"name":    sc.Spec.Name,
-			"metrics": sc.eng.Metrics(),
-		}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleScenarioMetrics serves one scenario's engine counters as JSON.
+func (s *server) handleScenarioMetrics(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_ns": time.Since(s.start),
-		"scenarios": per,
+		"id":      sc.ID,
+		"name":    sc.Spec.Name,
+		"metrics": sc.eng.Metrics(),
+	})
+}
+
+// handleEvents serves the scenario's bounded event ring, oldest first.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	events := sc.events.Events()
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     sc.ID,
+		"events": events,
+		"total":  sc.events.Total(),
 	})
 }
 
@@ -443,12 +527,13 @@ func (s *server) loadSnapshot(path string) error {
 		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	for _, ps := range in {
-		eng, err := buildEngine(ps.Spec)
+		events := obs.NewEventLog(0)
+		eng, err := buildEngine(ps.Spec, s.reg, engine.NewObserver(s.reg, events, ps.ID))
 		if err != nil {
 			return fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
 		}
 		s.mu.Lock()
-		s.scenarios[ps.ID] = &scenario{ID: ps.ID, Spec: ps.Spec, Created: time.Now(), eng: eng}
+		s.scenarios[ps.ID] = &scenario{ID: ps.ID, Spec: ps.Spec, Created: time.Now(), eng: eng, events: events}
 		if n := len(ps.ID); n > 1 && ps.ID[0] == 's' {
 			var num int
 			if _, err := fmt.Sscanf(ps.ID[1:], "%d", &num); err == nil && num > s.nextID {

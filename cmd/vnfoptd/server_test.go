@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 
 	"vnfopt/internal/engine"
@@ -73,6 +76,58 @@ func hostIndex(ft *topology.Topology) map[int]int {
 	return idx
 }
 
+// promSnapshot fetches /metrics and strictly parses the Prometheus text
+// exposition into a full-series-name → value map: every non-comment line
+// must be `name{labels} value` with a float value, every comment a
+// well-formed `# TYPE family type` line.
+func promSnapshot(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "summary":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty exposition")
+	}
+	return out
+}
+
 // TestE2EDaemonMatchesOfflineSim is the acceptance path: create a
 // scenario over HTTP, stream the burst schedule as per-epoch rate deltas,
 // observe a drift-triggered migration, and check that every epoch's
@@ -102,6 +157,8 @@ func TestE2EDaemonMatchesOfflineSim(t *testing.T) {
 	if created.Flows != len(base) || created.Migrator != "mPareto" {
 		t.Fatalf("created %+v", created)
 	}
+	epochsKey := `vnfopt_engine_epochs_total{scenario="` + created.ID + `"}`
+	promBefore := promSnapshot(t, ts)
 
 	// Stream each hour as one epoch: rates delta + step in one call.
 	var daemonSteps []engine.StepResult
@@ -181,16 +238,14 @@ func TestE2EDaemonMatchesOfflineSim(t *testing.T) {
 		t.Fatalf("snapshot %+v", snap)
 	}
 
-	// Metrics expose the TOM loop's counters.
+	// The per-scenario JSON route exposes the TOM loop's counters.
 	var met struct {
-		Scenarios map[string]struct {
-			Metrics engine.Metrics `json:"metrics"`
-		} `json:"scenarios"`
+		Metrics engine.Metrics `json:"metrics"`
 	}
-	if code := do(t, ts, "GET", "/metrics", nil, &met); code != http.StatusOK {
-		t.Fatal("metrics failed")
+	if code := do(t, ts, "GET", "/v1/scenarios/"+created.ID+"/metrics", nil, &met); code != http.StatusOK {
+		t.Fatal("scenario metrics failed")
 	}
-	m := met.Scenarios[created.ID].Metrics
+	m := met.Metrics
 	if m.Epochs != len(sched) || m.Migrations != migrations {
 		t.Fatalf("metrics %+v", m)
 	}
@@ -199,6 +254,39 @@ func TestE2EDaemonMatchesOfflineSim(t *testing.T) {
 	}
 	if m.DeltaEpochs+m.RebuildEpochs == 0 {
 		t.Fatal("no cache-path accounting")
+	}
+
+	// /metrics is Prometheus text exposition; the run above must have
+	// advanced the engine, cache, and solver series.
+	prom := promSnapshot(t, ts)
+	sl := `{scenario="` + created.ID + `"}`
+	if got := prom[epochsKey]; got != float64(len(sched)) {
+		t.Fatalf("epochs_total %v, want %d", got, len(sched))
+	}
+	if promBefore[epochsKey] != 0 {
+		t.Fatalf("epochs_total %v before any step", promBefore[epochsKey])
+	}
+	if got := prom[`vnfopt_engine_epoch_seconds_count`+sl]; got != float64(len(sched)) {
+		t.Fatalf("epoch_seconds count %v, want %d", got, len(sched))
+	}
+	if _, ok := prom[`vnfopt_engine_epoch_seconds{scenario="`+created.ID+`",quantile="0.99"}`]; !ok {
+		t.Fatal("epoch latency p99 missing from exposition")
+	}
+	if got := prom[`vnfopt_engine_migrations_total`+sl]; got != float64(migrations) {
+		t.Fatalf("migrations_total %v, want %d", got, migrations)
+	}
+	if got := prom[`vnfopt_cache_rebuilds_total`+sl] + prom[`vnfopt_cache_deltas_total`+sl]; got == 0 {
+		t.Fatal("cache rebuild/delta counters did not advance")
+	}
+	if got := prom[`vnfopt_solver_calls_total{solver="DP"}`]; got < 1 {
+		t.Fatalf("solver_calls_total %v, want >= 1", got)
+	}
+	if got := prom[`vnfopt_migrator_seconds_count{migrator="mPareto"}`]; got < float64(migrations) {
+		t.Fatalf("migrator timing count %v, want >= %d", got, migrations)
+	}
+	ratesRoute := `vnfoptd_requests_total{route="POST /v1/scenarios/{id}/rates",code="200"}`
+	if got := prom[ratesRoute] - promBefore[ratesRoute]; got != float64(len(sched)) {
+		t.Fatalf("rates request counter advanced by %v, want %d", got, len(sched))
 	}
 }
 
@@ -376,6 +464,127 @@ func TestAPIErrors(t *testing.T) {
 	}
 	if code := do(t, ts, "GET", "/healthz", nil, nil); code != http.StatusOK {
 		t.Fatal("healthz failed")
+	}
+}
+
+// TestErrorEnvelopeAndConflict pins the uniform error body — every
+// failure answers {"error":{"code","message"}} with the documented code
+// — and the atomic create path: a duplicate explicit id is a 409
+// conflict even though the id was free when the first request started.
+func TestErrorEnvelopeAndConflict(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	check := func(wantStatus int, wantCode, method, path string, body any) {
+		t.Helper()
+		env.Error.Code, env.Error.Message = "", ""
+		if code := do(t, ts, method, path, body, &env); code != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, code, wantStatus)
+		}
+		if env.Error.Code != wantCode || env.Error.Message == "" {
+			t.Fatalf("%s %s: envelope %+v, want code %q", method, path, env, wantCode)
+		}
+	}
+	check(http.StatusNotFound, "not_found", "GET", "/v1/scenarios/nope/events", nil)
+	check(http.StatusBadRequest, "bad_request", "POST", "/v1/scenarios", map[string]any{"bogus_field": 1})
+	check(http.StatusUnprocessableEntity, "invalid_argument", "POST", "/v1/scenarios", map[string]any{"topology": "torus"})
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	spec := ScenarioSpec{ID: "pinned", Flows: 8, Seed: 1}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("explicit-id create: %d", code)
+	}
+	if created.ID != "pinned" {
+		t.Fatalf("id %q, want pinned", created.ID)
+	}
+	check(http.StatusConflict, "conflict", "POST", "/v1/scenarios", spec)
+	// Generated ids skip over live explicit ids rather than colliding.
+	var gen struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", ScenarioSpec{Flows: 8, Seed: 2}, &gen); code != http.StatusCreated {
+		t.Fatalf("generated create: %d", code)
+	}
+	if gen.ID == created.ID {
+		t.Fatalf("generated id collided with %q", created.ID)
+	}
+}
+
+// TestEventsEndpoint: migrations committed by the engine appear in the
+// scenario's bounded event ring with monotonically increasing sequence
+// numbers and the migration fields.
+func TestEventsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	ft, base, sched := e2eScenario(t)
+	idx := hostIndex(ft)
+	spec := ScenarioSpec{SFCLen: 3, Mu: 1e3} // zero policy: consult every epoch
+	for _, f := range base {
+		spec.Pairs = append(spec.Pairs, PairSpec{Src: idx[f.Src], Dst: idx[f.Dst], Rate: f.Rate})
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	moves := 0
+	for _, rates := range sched {
+		req := ratesRequest{Step: true}
+		for i, r := range rates {
+			req.Updates = append(req.Updates, engine.RateUpdate{Flow: i, Rate: r})
+		}
+		var resp struct {
+			Step *engine.StepResult `json:"step"`
+		}
+		do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/rates", created.ID), req, &resp)
+		if resp.Step != nil {
+			moves += resp.Step.Moves
+		}
+	}
+	if moves == 0 {
+		t.Fatal("schedule produced no migrations; events test is vacuous")
+	}
+
+	var got struct {
+		Events []struct {
+			Seq    uint64             `json:"seq"`
+			Type   string             `json:"type"`
+			Msg    string             `json:"message"`
+			Fields map[string]float64 `json:"fields"`
+		} `json:"events"`
+		Total uint64 `json:"total"`
+	}
+	if code := do(t, ts, "GET", fmt.Sprintf("/v1/scenarios/%s/events", created.ID), nil, &got); code != http.StatusOK {
+		t.Fatalf("events: %d", code)
+	}
+	if len(got.Events) == 0 || got.Total == 0 {
+		t.Fatalf("no events recorded (total %d)", got.Total)
+	}
+	totalMoves := 0.0
+	for i, ev := range got.Events {
+		if ev.Type != "migration" || ev.Msg == "" {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if i > 0 && ev.Seq <= got.Events[i-1].Seq {
+			t.Fatalf("event seq not increasing: %d after %d", ev.Seq, got.Events[i-1].Seq)
+		}
+		if ev.Fields["moves"] <= 0 || ev.Fields["epoch"] <= 0 {
+			t.Fatalf("event %d missing fields: %+v", i, ev.Fields)
+		}
+		totalMoves += ev.Fields["moves"]
+	}
+	if totalMoves != float64(moves) {
+		t.Fatalf("event moves %v != stepped moves %d", totalMoves, moves)
 	}
 }
 

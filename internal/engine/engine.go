@@ -63,7 +63,12 @@ type Policy struct {
 	RebuildFraction float64 `json:"rebuild_fraction"`
 }
 
-// Config describes one engine instance.
+// Config describes one engine instance. The first four fields (PPDC,
+// SFC, Base, Mu) define the scenario and are always set as struct
+// fields; the optional fields below them predate functional options and
+// suffer from zero-value ambiguity (a zero Policy is a real, meaningful
+// policy — "consult every epoch" — indistinguishable from "unset").
+// Prefer passing the matching Option to New for everything optional.
 type Config struct {
 	// PPDC is the fabric.
 	PPDC *model.PPDC
@@ -75,15 +80,27 @@ type Config struct {
 	// Mu is the migration coefficient μ.
 	Mu float64
 	// Initial is the starting placement; nil computes one with Placer.
+	//
+	// Deprecated: prefer WithInitial, which states intent explicitly.
 	Initial model.Placement
 	// Placer computes the initial placement when Initial is nil
 	// (nil = Algorithm 3).
+	//
+	// Deprecated: prefer WithPlacer.
 	Placer placement.Solver
 	// Migrator is the TOM algorithm the drift trigger consults
 	// (nil = Algorithm 5, mPareto).
+	//
+	// Deprecated: prefer WithMigrator.
 	Migrator migration.Migrator
 	// Policy holds the hysteresis/cooldown/budget knobs.
+	//
+	// Deprecated: prefer WithPolicy — the zero value here silently means
+	// "consult every epoch", which is easy to set by accident.
 	Policy Policy
+	// Observer, when non-nil, receives metrics and events (see
+	// Observer). Prefer WithObserver.
+	Observer *Observer
 }
 
 // RateUpdate is one streaming event: flow Flow's rate is now Rate.
@@ -155,6 +172,9 @@ type Metrics struct {
 	DeltaPairs    int64 `json:"delta_pairs"`
 	DeltaEpochs   int64 `json:"delta_epochs"`
 	RebuildEpochs int64 `json:"rebuild_epochs"`
+	// UpdatesCoalesced counts accepted updates that overwrote a pending
+	// update to the same flow (last write wins) before the epoch closed.
+	UpdatesCoalesced int64 `json:"updates_coalesced"`
 	// LastEpoch and TotalEpoch time the Step calls.
 	LastEpoch  time.Duration `json:"last_epoch_ns"`
 	TotalEpoch time.Duration `json:"total_epoch_ns"`
@@ -172,6 +192,7 @@ type Engine struct {
 	mu  sync.Mutex
 	cfg Config
 	mig migration.Migrator // effective migrator (budget-wrapped)
+	obs *Observer          // nil = uninstrumented
 
 	flows   model.Workload // live per-flow rates, indexed as Base
 	cache   *model.WorkloadCache
@@ -189,8 +210,12 @@ type Engine struct {
 
 // New validates the configuration, computes (or adopts) the initial
 // placement, builds the aggregated cost cache, and publishes the first
-// snapshot.
-func New(cfg Config) (*Engine, error) {
+// snapshot. Options are applied over cfg in order (see Option); the
+// variadic form keeps every existing New(cfg) call compiling.
+func New(cfg Config, opts ...Option) (*Engine, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if cfg.PPDC == nil {
 		return nil, fmt.Errorf("engine: nil PPDC")
 	}
@@ -215,6 +240,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:          cfg,
 		mig:          cfg.Migrator,
+		obs:          cfg.Observer,
 		flows:        append(model.Workload(nil), cfg.Base...),
 		pending:      make(map[int]float64),
 		lastMigEpoch: -1,
@@ -223,6 +249,11 @@ func New(cfg Config) (*Engine, error) {
 		e.mig = migration.Budgeted{Inner: cfg.Migrator, Budget: cfg.Policy.Budget}
 	}
 	e.cache = cfg.PPDC.NewWorkloadCache(e.flows)
+	if e.obs != nil {
+		// The initial aggregation above is construction, not invalidation
+		// traffic; rebuild/delta accounting starts here.
+		e.cache.SetObserver(e.obs)
+	}
 	if cfg.Initial != nil {
 		if err := cfg.Initial.Validate(cfg.PPDC, cfg.SFC); err != nil {
 			return nil, fmt.Errorf("engine: initial placement: %w", err)
@@ -265,10 +296,16 @@ func (e *Engine) OfferRates(updates []RateUpdate) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	coalesced := 0
 	for _, u := range updates {
+		if _, dup := e.pending[u.Flow]; dup {
+			coalesced++
+		}
 		e.pending[u.Flow] = u.Rate
 	}
 	e.met.UpdatesAccepted += int64(len(updates))
+	e.met.UpdatesCoalesced += int64(coalesced)
+	e.obs.observeIngest(len(updates), coalesced)
 	return len(updates), nil
 }
 
@@ -286,6 +323,12 @@ func (e *Engine) Step() (StepResult, error) {
 
 	curCost := e.cache.CommCost(e.p)
 	res.TotalCost = curCost
+	preCost := curCost
+	drift := 1.0
+	if e.committedCost > 0 {
+		drift = curCost / e.committedCost
+	}
+	var consultTime time.Duration
 
 	hys := e.cfg.Policy.Hysteresis
 	drifted := hys <= 0 || curCost > hys*e.committedCost
@@ -293,9 +336,12 @@ func (e *Engine) Step() (StepResult, error) {
 		e.lastMigEpoch < 0 ||
 		e.epoch-e.lastMigEpoch > e.cfg.Policy.Cooldown
 	if drifted && cooled {
+		consultStart := time.Now()
 		m, ct, err := e.mig.Migrate(e.cfg.PPDC, e.flows, e.cfg.SFC, e.p, e.cfg.Mu)
+		consultTime = time.Since(consultStart)
 		if err != nil {
 			e.epoch-- // the epoch did not close; pending already folded
+			e.obs.observeError(e.epoch+1, err)
 			return StepResult{}, fmt.Errorf("engine: epoch %d: %w", e.epoch+1, err)
 		}
 		res.Consulted = true
@@ -325,6 +371,7 @@ func (e *Engine) Step() (StepResult, error) {
 	}
 	e.met.Trajectory = append(e.met.Trajectory, res.TotalCost)
 	res.Elapsed = e.met.LastEpoch
+	e.obs.observeStep(res, drift, consultTime, preCost-curCost)
 	e.publish(curCost)
 	return res, nil
 }

@@ -30,6 +30,10 @@ func fixture(t testing.TB, seed int64) (*model.PPDC, model.Workload, [][]float64
 }
 
 func newEngine(t testing.TB, pol Policy, seed int64) (*Engine, [][]float64) {
+	return newEngineOpts(t, pol, seed)
+}
+
+func newEngineOpts(t testing.TB, pol Policy, seed int64, opts ...Option) (*Engine, [][]float64) {
 	t.Helper()
 	d, base, sched := fixture(t, seed)
 	e, err := New(Config{
@@ -38,7 +42,7 @@ func newEngine(t testing.TB, pol Policy, seed int64) (*Engine, [][]float64) {
 		Base:   base,
 		Mu:     1e3,
 		Policy: pol,
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

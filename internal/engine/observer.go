@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"vnfopt/internal/obs"
+)
+
+// Observer is the engine's observability sink: a set of pre-resolved
+// metric handles (so the Step hot path never does a registry lookup)
+// plus an optional event log. Build one per engine with NewObserver; a
+// nil *Observer disables instrumentation entirely — every use is behind
+// one nil check, and the obs handles themselves are nil-safe, so the
+// disabled configuration costs nothing measurable.
+//
+// Observer also implements model.CacheObserver, so the engine wires it
+// straight into its WorkloadCache: rebuild timings and per-pair delta
+// magnitudes are attributed to the same scenario as the epoch metrics.
+type Observer struct {
+	// Registry is the backing registry (nil when metrics are disabled).
+	Registry *obs.Registry
+	// Events receives migration/error events (nil to drop them).
+	Events *obs.EventLog
+
+	epochSeconds   *obs.Histogram
+	consultSeconds *obs.Histogram
+	improvement    *obs.Histogram
+	deltaMagnitude *obs.Histogram
+	rebuildSeconds *obs.Histogram
+	drift          *obs.Gauge
+	commCost       *obs.Gauge
+	epochs         *obs.Counter
+	updates        *obs.Counter
+	coalesced      *obs.Counter
+	consults       *obs.Counter
+	migrations     *obs.Counter
+	moves          *obs.Counter
+	rebuilds       *obs.Counter
+	deltas         *obs.Counter
+}
+
+// NewObserver resolves the engine metric family against r, labelling
+// every series with the scenario name when non-empty. Either argument
+// may be nil; a fully nil observer is better expressed as a nil
+// *Observer.
+func NewObserver(r *obs.Registry, events *obs.EventLog, scenario string) *Observer {
+	l := ""
+	if scenario != "" {
+		l = fmt.Sprintf("{scenario=%q}", scenario)
+	}
+	return &Observer{
+		Registry:       r,
+		Events:         events,
+		epochSeconds:   r.Histogram("vnfopt_engine_epoch_seconds" + l),
+		consultSeconds: r.Histogram("vnfopt_engine_consult_seconds" + l),
+		improvement:    r.Histogram("vnfopt_engine_improvement" + l),
+		deltaMagnitude: r.Histogram("vnfopt_cache_delta_magnitude" + l),
+		rebuildSeconds: r.Histogram("vnfopt_cache_rebuild_seconds" + l),
+		drift:          r.Gauge("vnfopt_engine_drift_ratio" + l),
+		commCost:       r.Gauge("vnfopt_engine_comm_cost" + l),
+		epochs:         r.Counter("vnfopt_engine_epochs_total" + l),
+		updates:        r.Counter("vnfopt_engine_updates_total" + l),
+		coalesced:      r.Counter("vnfopt_engine_updates_coalesced_total" + l),
+		consults:       r.Counter("vnfopt_engine_consults_total" + l),
+		migrations:     r.Counter("vnfopt_engine_migrations_total" + l),
+		moves:          r.Counter("vnfopt_engine_moves_total" + l),
+		rebuilds:       r.Counter("vnfopt_cache_rebuilds_total" + l),
+		deltas:         r.Counter("vnfopt_cache_deltas_total" + l),
+	}
+}
+
+// CacheRebuilt implements model.CacheObserver.
+func (o *Observer) CacheRebuilt(pairs int, elapsed time.Duration) {
+	if o == nil {
+		return
+	}
+	o.rebuilds.Inc()
+	o.rebuildSeconds.Observe(elapsed.Seconds())
+}
+
+// CacheDelta implements model.CacheObserver.
+func (o *Observer) CacheDelta(magnitude float64) {
+	if o == nil {
+		return
+	}
+	o.deltas.Inc()
+	o.deltaMagnitude.Observe(magnitude)
+}
+
+// observeIngest records one accepted OfferRates batch.
+func (o *Observer) observeIngest(accepted, coalesced int) {
+	if o == nil {
+		return
+	}
+	o.updates.Add(int64(accepted))
+	o.coalesced.Add(int64(coalesced))
+}
+
+// observeStep records one closed epoch. drift is the pre-migration
+// cost ratio against the committed reference (1 = no drift).
+func (o *Observer) observeStep(res StepResult, drift float64, consultTime time.Duration, improvement float64) {
+	if o == nil {
+		return
+	}
+	o.epochs.Inc()
+	o.epochSeconds.Observe(res.Elapsed.Seconds())
+	o.drift.Set(drift)
+	o.commCost.Set(res.CommCost)
+	if res.Consulted {
+		o.consults.Inc()
+		o.consultSeconds.Observe(consultTime.Seconds())
+	}
+	if res.Migrated {
+		o.migrations.Inc()
+		o.moves.Add(int64(res.Moves))
+		o.improvement.Observe(improvement)
+		o.Events.Append("migration",
+			fmt.Sprintf("epoch %d: %d VNFs moved", res.Epoch, res.Moves),
+			map[string]float64{
+				"epoch":       float64(res.Epoch),
+				"moves":       float64(res.Moves),
+				"mig_cost":    res.MigCost,
+				"comm_cost":   res.CommCost,
+				"improvement": improvement,
+			})
+	}
+}
+
+// observeError records a failed Step.
+func (o *Observer) observeError(epoch int, err error) {
+	if o == nil {
+		return
+	}
+	o.Registry.Counter("vnfopt_engine_step_errors_total").Inc()
+	o.Events.Append("step_error", fmt.Sprintf("epoch %d: %v", epoch, err),
+		map[string]float64{"epoch": float64(epoch)})
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+)
+
+// Option is a functional configuration knob for New, layered over
+// Config. Options exist to remove the zero-value ambiguity of optional
+// Config fields (a zero Policy silently means "consult every epoch", a
+// nil Migrator silently means mPareto): an Option states intent
+// explicitly at the call site and composes without a half-filled struct
+// literal.
+//
+//	eng, err := engine.New(engine.Config{PPDC: d, SFC: sfc, Base: w, Mu: mu},
+//	        engine.WithPolicy(engine.Policy{Hysteresis: 1.1, Cooldown: 2}),
+//	        engine.WithMigrator(migration.LayeredDP{}),
+//	        engine.WithObserver(obs))
+//
+// Options are applied in order after the Config literal, so a later
+// option overrides both the struct field and any earlier option.
+type Option func(*Config)
+
+// WithPolicy sets the migration-control policy (hysteresis, cooldown,
+// budget, rebuild fraction).
+func WithPolicy(p Policy) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithMigrator sets the TOM migrator the drift trigger consults.
+func WithMigrator(m migration.Migrator) Option {
+	return func(c *Config) { c.Migrator = m }
+}
+
+// WithPlacer sets the TOP solver used to compute the initial placement
+// when none is given.
+func WithPlacer(p placement.Solver) Option {
+	return func(c *Config) { c.Placer = p }
+}
+
+// WithInitial adopts a precomputed initial placement instead of running
+// the placer.
+func WithInitial(p model.Placement) Option {
+	return func(c *Config) { c.Initial = p }
+}
+
+// WithObserver attaches an observability sink: epoch latencies, drift,
+// migration and cache counters flow into its registry, and commit/error
+// events into its event log. A nil observer leaves the engine
+// uninstrumented (the default).
+func WithObserver(o *Observer) Option {
+	return func(c *Config) { c.Observer = o }
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"testing"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/obs"
+)
+
+// TestOptionsOverrideConfig: options are applied after the Config
+// literal and in order, so the last writer wins.
+func TestOptionsOverrideConfig(t *testing.T) {
+	d, base, _ := fixture(t, 1)
+	e, err := New(Config{
+		PPDC:     d,
+		SFC:      model.NewSFC(3),
+		Base:     base,
+		Mu:       1e3,
+		Migrator: migration.MPareto{},
+		Policy:   Policy{Hysteresis: 99},
+	},
+		WithMigrator(migration.LayeredDP{}),
+		WithPolicy(Policy{Hysteresis: 1.2, Cooldown: 3}),
+		WithPolicy(Policy{Hysteresis: 1.4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MigratorName(); got != "LayeredDP" {
+		t.Fatalf("migrator %q, want LayeredDP (option should override Config)", got)
+	}
+	if e.cfg.Policy.Hysteresis != 1.4 || e.cfg.Policy.Cooldown != 0 {
+		t.Fatalf("policy %+v, want the last WithPolicy to win", e.cfg.Policy)
+	}
+}
+
+// TestWithInitialAdoptsPlacement: WithInitial skips the placer run.
+func TestWithInitialAdoptsPlacement(t *testing.T) {
+	d, base, _ := fixture(t, 2)
+	ref, err := New(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := ref.Snapshot().Placement
+	e, err := New(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3},
+		WithInitial(p0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Snapshot().Placement.Equal(p0) {
+		t.Fatalf("initial %v, want adopted %v", e.Snapshot().Placement, p0)
+	}
+}
+
+// TestWithObserverWiring: a live observer sees epochs, ingests, cache
+// activity, and migration events flow through the engine.
+func TestWithObserverWiring(t *testing.T) {
+	r := obs.NewRegistry()
+	ev := obs.NewEventLog(8)
+	e, sched := newEngineOpts(t, Policy{}, 3, WithObserver(NewObserver(r, ev, "t")))
+	moves := 0
+	for h := 0; h < 6; h++ {
+		if _, err := e.OfferRates(hourUpdates(sched[h])); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		moves += res.Moves
+	}
+	l := `{scenario="t"}`
+	if got := r.Counter("vnfopt_engine_epochs_total" + l).Value(); got != 6 {
+		t.Fatalf("epochs counter %d, want 6", got)
+	}
+	if got := r.Histogram("vnfopt_engine_epoch_seconds" + l).Count(); got != 6 {
+		t.Fatalf("epoch histogram count %d, want 6", got)
+	}
+	if got := r.Counter("vnfopt_engine_updates_total" + l).Value(); got != int64(6*e.Flows()) {
+		t.Fatalf("updates counter %d, want %d", got, 6*e.Flows())
+	}
+	cache := r.Counter("vnfopt_cache_rebuilds_total"+l).Value() +
+		r.Counter("vnfopt_cache_deltas_total"+l).Value()
+	if cache == 0 {
+		t.Fatal("no cache accounting reached the observer")
+	}
+	if moves > 0 {
+		if got := r.Counter("vnfopt_engine_moves_total" + l).Value(); got != int64(moves) {
+			t.Fatalf("moves counter %d, want %d", got, moves)
+		}
+		if ev.Total() == 0 {
+			t.Fatal("migrations produced no events")
+		}
+		for _, event := range ev.Events() {
+			if event.Type != "migration" {
+				t.Fatalf("unexpected event %+v", event)
+			}
+		}
+	}
+	if drift := r.Gauge("vnfopt_engine_drift_ratio" + l).Value(); drift <= 0 {
+		t.Fatalf("drift gauge %v, want > 0", drift)
+	}
+}
+
+// TestMetricsCountCoalescedUpdates: duplicate flow ids in one epoch are
+// coalesced and surfaced both in Metrics and through the observer.
+func TestMetricsCountCoalescedUpdates(t *testing.T) {
+	r := obs.NewRegistry()
+	e, sched := newEngineOpts(t, Policy{}, 4, WithObserver(NewObserver(r, nil, "c")))
+	ups := hourUpdates(sched[0])
+	ups = append(ups, RateUpdate{Flow: 0, Rate: sched[0][0] + 1}) // duplicate
+	if _, err := e.OfferRates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().UpdatesCoalesced; got != 1 {
+		t.Fatalf("UpdatesCoalesced %d, want 1", got)
+	}
+	if got := r.Counter(`vnfopt_engine_updates_coalesced_total{scenario="c"}`).Value(); got != 1 {
+		t.Fatalf("coalesced counter %d, want 1", got)
+	}
+}

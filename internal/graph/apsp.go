@@ -2,9 +2,32 @@ package graph
 
 import (
 	"math"
+	"sync/atomic"
+	"time"
 
 	"vnfopt/internal/parallel"
 )
+
+// APSPObserver receives the wall time of one all-pairs build. The graph
+// package stays free of any observability dependency: an interested
+// party (e.g. cmd/vnfoptd wiring the internal/obs registry) installs a
+// callback with SetAPSPObserver and the kernel reports into it.
+type APSPObserver func(vertices, edges, workers int, elapsed time.Duration)
+
+// apspObserver is the installed callback; nil (the default) costs one
+// atomic load per AllPairs build.
+var apspObserver atomic.Pointer[APSPObserver]
+
+// SetAPSPObserver installs (or, with nil, removes) the process-wide
+// APSP build observer. Safe to call concurrently with builds; a build
+// in flight reports to whichever callback it loaded at start.
+func SetAPSPObserver(fn APSPObserver) {
+	if fn == nil {
+		apspObserver.Store(nil)
+		return
+	}
+	apspObserver.Store(&fn)
+}
 
 // APSP holds an all-pairs shortest path matrix with predecessor links for
 // path reconstruction. It is the c(u,v) oracle of the paper's cost model:
@@ -35,6 +58,11 @@ func AllPairs(g *Graph) *APSP {
 // the result is bit-identical to the sequential build regardless of
 // worker count or scheduling.
 func AllPairsWorkers(g *Graph, workers int) *APSP {
+	obs := apspObserver.Load()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	n := g.Order()
 	a := &APSP{
 		n:    n,
@@ -53,6 +81,9 @@ func AllPairsWorkers(g *Graph, workers int) *APSP {
 		// DijkstraInto cannot fail on a valid Graph; a surfaced panic is a
 		// kernel bug and must not be swallowed.
 		panic(err)
+	}
+	if obs != nil {
+		(*obs)(n, g.Size(), workers, time.Since(start))
 	}
 	return a
 }

@@ -1,11 +1,25 @@
 package migration
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"vnfopt/internal/model"
 )
+
+// ctxCheckMask throttles context polls to one ctx.Err() call per
+// ctxCheckMask+1 node expansions.
+const ctxCheckMask = 1023
+
+// searchExpansions accumulates node expansions across every Exhaustive
+// migration search in the process, batched once per Migrate call.
+var searchExpansions atomic.Int64
+
+// SearchExpansions returns the process-wide total of Exhaustive
+// (Algorithm 6) node expansions.
+func SearchExpansions() int64 { return searchExpansions.Load() }
 
 // Exhaustive is the paper's Algorithm 6: search over all ordered
 // distinct-switch migration targets m for the one minimizing C_t(p, m).
@@ -16,6 +30,7 @@ import (
 //	lower bound      = partial + Λ·(edges remaining)·minSwitchDist + minEgress
 //
 // (the migration terms of unplaced VNFs are bounded below by zero).
+// MigrateContext makes unbounded searches cancellable.
 type Exhaustive struct {
 	// NodeBudget caps search expansions; 0 = unlimited.
 	NodeBudget int
@@ -28,14 +43,33 @@ func (Exhaustive) Name() string { return "Optimal" }
 
 // Migrate implements Migrator.
 func (a Exhaustive) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
-	m, c, _, err := a.MigrateProven(d, w, sfc, p, mu)
+	m, c, _, err := a.MigrateProvenContext(context.Background(), d, w, sfc, p, mu)
+	return m, c, err
+}
+
+// MigrateContext is Migrate under a context: the search polls ctx every
+// ctxCheckMask+1 expansions and, once cancelled, returns the best
+// incumbent found so far (at worst staying put) together with ctx.Err().
+func (a Exhaustive) MigrateContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
+	m, c, _, err := a.MigrateProvenContext(ctx, d, w, sfc, p, mu)
 	return m, c, err
 }
 
 // MigrateProven is Migrate plus a flag reporting whether the search
 // completed within its node budget.
 func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, bool, error) {
+	return a.MigrateProvenContext(context.Background(), d, w, sfc, p, mu)
+}
+
+// MigrateProvenContext is the full form: anytime search with node
+// budget, proven-optimality flag, and cooperative cancellation. On
+// cancellation the incumbent is returned with proven == false and
+// err == ctx.Err().
+func (a Exhaustive) MigrateProvenContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, bool, error) {
 	if err := checkInputs(d, w, sfc, p, mu); err != nil {
+		return nil, 0, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, 0, false, err
 	}
 	n := sfc.Len()
@@ -79,6 +113,7 @@ func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC
 	path := make(model.Placement, 0, n)
 	nodes := 0
 	exhausted := false
+	cancelled := false
 
 	type cand struct {
 		v int
@@ -87,12 +122,16 @@ func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC
 
 	var rec func(last int, depth int, cur float64)
 	rec = func(last int, depth int, cur float64) {
-		if exhausted {
+		if exhausted || cancelled {
 			return
 		}
 		nodes++
 		if a.NodeBudget > 0 && nodes > a.NodeBudget {
 			exhausted = true
+			return
+		}
+		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
+			cancelled = true
 			return
 		}
 		if depth == n {
@@ -129,12 +168,16 @@ func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC
 			rec(ch.v, depth+1, nc)
 			path = path[:len(path)-1]
 			used[ch.v]--
-			if exhausted {
+			if exhausted || cancelled {
 				return
 			}
 		}
 	}
 	rec(-1, 0, 0)
+	searchExpansions.Add(int64(nodes))
 
+	if cancelled {
+		return best, bestCost, false, ctx.Err()
+	}
 	return best, bestCost, !exhausted, nil
 }

@@ -1,5 +1,20 @@
 package model
 
+import "time"
+
+// CacheObserver receives WorkloadCache invalidation traffic: one
+// CacheRebuilt call per SetWorkload (with the rebuilt pair count and
+// wall time) and one CacheDelta call per effective ApplyDelta (with the
+// absolute rate change). The model package defines only the interface —
+// implementations live with the observability layer (engine.Observer
+// feeds internal/obs) so the cost model carries no metrics dependency.
+// The observer runs synchronously on the mutating goroutine; keep
+// implementations to a few atomic operations.
+type CacheObserver interface {
+	CacheRebuilt(pairs int, elapsed time.Duration)
+	CacheDelta(magnitude float64)
+}
+
 // WorkloadCache is the aggregated-workload fast path of the cost model.
 // The scalar oracles (CommCost, EndpointCosts) re-scan all l flows per
 // query; at data-center scale l dwarfs the number of distinct hosts, so
@@ -43,7 +58,15 @@ type WorkloadCache struct {
 	totalRate       float64
 	// direct is C_a of the empty placement: Σ λ c(s,t).
 	direct float64
+	// obs, when set, is notified of rebuilds and deltas; nil (the
+	// default) costs one pointer check per mutation.
+	obs CacheObserver
 }
+
+// SetObserver installs (or, with nil, removes) the cache's invalidation
+// observer. Not safe to call concurrently with SetWorkload/ApplyDelta;
+// install before sharing the cache.
+func (c *WorkloadCache) SetObserver(o CacheObserver) { c.obs = o }
 
 // NewWorkloadCache builds the aggregated cost cache for w.
 func (d *PPDC) NewWorkloadCache(w Workload) *WorkloadCache {
@@ -57,6 +80,10 @@ func (d *PPDC) NewWorkloadCache(w Workload) *WorkloadCache {
 // dynamic-rates simulation); the endpoints may change too — the cache
 // makes no assumption that w matches the previous workload's host pairs.
 func (c *WorkloadCache) SetWorkload(w Workload) {
+	var start time.Time
+	if c.obs != nil {
+		start = time.Now()
+	}
 	n := c.d.Topo.Graph.Order()
 	// Group flows by (src, dst) host pair, first-appearance order.
 	c.pairIdx = make(map[[2]int]int, len(w))
@@ -120,6 +147,9 @@ func (c *WorkloadCache) SetWorkload(w Workload) {
 			c.egress[v] += t.rate * row[v]
 		}
 	}
+	if c.obs != nil {
+		c.obs.CacheRebuilt(len(c.pairs), time.Since(start))
+	}
 }
 
 // PairIndex returns the aggregated-pair index of the (src, dst) host pair,
@@ -167,6 +197,13 @@ func (c *WorkloadCache) ApplyDelta(pairIdx int, newRate float64) {
 	dr := newRate - p.Rate
 	if dr == 0 {
 		return
+	}
+	if c.obs != nil {
+		mag := dr
+		if mag < 0 {
+			mag = -mag
+		}
+		c.obs.CacheDelta(mag)
 	}
 	p.Rate = newRate
 	c.totalRate += dr

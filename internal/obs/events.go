@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured occurrence in an EventLog: a monotonic
+// sequence number, a wall-clock timestamp, a short machine-readable
+// type, a human-readable message, and optional numeric fields.
+type Event struct {
+	Seq     uint64             `json:"seq"`
+	Time    time.Time          `json:"time"`
+	Type    string             `json:"type"`
+	Message string             `json:"message"`
+	Fields  map[string]float64 `json:"fields,omitempty"`
+}
+
+// DefaultEventCapacity bounds an EventLog when no capacity is given.
+const DefaultEventCapacity = 256
+
+// EventLog is a bounded ring buffer of events: appends past the
+// capacity overwrite the oldest entries, so memory use is fixed while
+// the newest history is always retained. A nil *EventLog drops
+// everything. Event rates are control-plane scale (migrations, scenario
+// lifecycle), so a mutex — not lock-free machinery — guards the ring.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // write cursor into buf
+	size int    // live entries (≤ cap(buf))
+	seq  uint64 // total events ever appended
+}
+
+// NewEventLog returns a ring holding the most recent capacity events
+// (≤ 0 selects DefaultEventCapacity).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Append records one event, evicting the oldest entry when the ring is
+// full. The fields map is retained as-is; callers must not mutate it
+// afterwards. No-op on a nil log.
+func (l *EventLog) Append(typ, message string, fields map[string]float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	l.buf[l.next] = Event{Seq: l.seq, Time: time.Now(), Type: typ, Message: message, Fields: fields}
+	l.next = (l.next + 1) % len(l.buf)
+	if l.size < len(l.buf) {
+		l.size++
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. The slice is a
+// copy; nil log → nil.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.size)
+	start := l.next - l.size
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.size; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Total returns the number of events ever appended (including evicted
+// ones).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

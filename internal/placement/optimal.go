@@ -1,11 +1,28 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"vnfopt/internal/model"
 )
+
+// ctxCheckMask throttles context polls: the search consults
+// ctx.Err() once every ctxCheckMask+1 node expansions, so cancellation
+// latency is bounded without a per-node branch-predictor cost.
+const ctxCheckMask = 1023
+
+// searchExpansions accumulates branch-and-bound node expansions across
+// every Optimal search in the process, batched once per Place call (one
+// atomic add per search, nothing on the hot path). Exposed so an
+// observability layer can publish it as a gauge.
+var searchExpansions atomic.Int64
+
+// SearchExpansions returns the process-wide total of Optimal
+// (Algorithm 4) node expansions.
+func SearchExpansions() int64 { return searchExpansions.Load() }
 
 // Optimal is the paper's Algorithm 4: exhaustive search over all ordered
 // placements of the n VNFs on distinct switches, here with branch-and-bound
@@ -17,7 +34,8 @@ import (
 //
 // The paper's complexity O(|V|^n) makes Algorithm 4 a small-instance
 // benchmark only; NodeBudget turns it into an anytime search that reports
-// whether optimality was proven.
+// whether optimality was proven, and PlaceContext makes unbounded
+// searches cancellable.
 type Optimal struct {
 	// NodeBudget caps search expansions; 0 = unlimited.
 	NodeBudget int
@@ -29,17 +47,38 @@ type Optimal struct {
 // Name implements Solver.
 func (Optimal) Name() string { return "Optimal" }
 
-// Proven reports whether the last Place call proved optimality. Callers
-// that need the flag should use PlaceProven.
+// Place implements Solver. Callers that need the proven-optimality flag
+// should use PlaceProven; callers that need cancellation, PlaceContext.
 func (a Optimal) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
-	p, c, _, err := a.PlaceProven(d, w, sfc)
+	p, c, _, err := a.PlaceProvenContext(context.Background(), d, w, sfc)
+	return p, c, err
+}
+
+// PlaceContext is Place under a context: the search polls ctx every
+// ctxCheckMask+1 node expansions and, once cancelled, stops and returns
+// the best incumbent found so far together with ctx.Err(). The incumbent
+// may be nil when cancellation struck before any complete placement was
+// evaluated and no Seed was configured.
+func (a Optimal) PlaceContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
+	p, c, _, err := a.PlaceProvenContext(ctx, d, w, sfc)
 	return p, c, err
 }
 
 // PlaceProven is Place plus a flag reporting whether the search completed
 // within its node budget (i.e. the result is provably optimal).
 func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, bool, error) {
+	return a.PlaceProvenContext(context.Background(), d, w, sfc)
+}
+
+// PlaceProvenContext is the full form: anytime search with node budget,
+// proven-optimality flag, and cooperative cancellation. On cancellation
+// the incumbent (possibly nil) is returned with proven == false and
+// err == ctx.Err().
+func (a Optimal) PlaceProvenContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, bool, error) {
 	if err := checkInputs(d, w, sfc); err != nil {
+		return nil, 0, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, 0, false, err
 	}
 	n := sfc.Len()
@@ -92,6 +131,7 @@ func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (mo
 	path := make(model.Placement, 0, n)
 	nodes := 0
 	exhaustedBudget := false
+	cancelled := false
 
 	type cand struct {
 		v int
@@ -100,12 +140,16 @@ func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (mo
 
 	var rec func(last int, depth int, cur float64)
 	rec = func(last int, depth int, cur float64) {
-		if exhaustedBudget {
+		if exhaustedBudget || cancelled {
 			return
 		}
 		nodes++
 		if a.NodeBudget > 0 && nodes > a.NodeBudget {
 			exhaustedBudget = true
+			return
+		}
+		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
+			cancelled = true
 			return
 		}
 		if depth == n {
@@ -142,13 +186,17 @@ func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (mo
 			rec(ch.v, depth+1, nc)
 			path = path[:len(path)-1]
 			used[ch.v]--
-			if exhaustedBudget {
+			if exhaustedBudget || cancelled {
 				return
 			}
 		}
 	}
 	rec(-1, 0, 0)
+	searchExpansions.Add(int64(nodes))
 
+	if cancelled {
+		return best, bestCost, false, ctx.Err()
+	}
 	if best == nil {
 		return nil, 0, false, errNoPlacement(n)
 	}

@@ -45,6 +45,10 @@ type Config struct {
 	// TrackLinks enables per-hour link-load reports (costs one routing
 	// pass per hour).
 	TrackLinks bool
+	// Observer, when non-nil, instruments the engine-driven runs
+	// (RunVNF/RunEngine): epoch latencies, drift, migration and cache
+	// counters flow into its registry. Nil disables instrumentation.
+	Observer *engine.Observer
 }
 
 // Step is one simulated hour's outcome.
@@ -200,14 +204,16 @@ func (s *Simulator) RunVNF(mig migration.Migrator) (*Trace, error) {
 func (s *Simulator) RunEngine(mig migration.Migrator, pol engine.Policy) (*Trace, error) {
 	first := s.firstActive()
 	eng, err := engine.New(engine.Config{
-		PPDC:     s.cfg.PPDC,
-		SFC:      s.cfg.SFC,
-		Base:     s.hours[first],
-		Mu:       s.cfg.Mu,
-		Initial:  s.p0,
-		Migrator: mig,
-		Policy:   pol,
-	})
+		PPDC: s.cfg.PPDC,
+		SFC:  s.cfg.SFC,
+		Base: s.hours[first],
+		Mu:   s.cfg.Mu,
+	},
+		engine.WithInitial(s.p0),
+		engine.WithMigrator(mig),
+		engine.WithPolicy(pol),
+		engine.WithObserver(s.cfg.Observer),
+	)
 	if err != nil {
 		return nil, fmt.Errorf("sim: engine: %w", err)
 	}

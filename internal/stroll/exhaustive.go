@@ -1,8 +1,10 @@
 package stroll
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // In the metric closure an optimal n-stroll can always be taken as a
@@ -19,7 +21,20 @@ import (
 //     early.
 //
 // NodeBudget caps the search; when exhausted the best incumbent is
-// returned with Optimal=false.
+// returned with Optimal=false. ExhaustiveContext adds cooperative
+// cancellation with the same incumbent semantics.
+
+// ctxCheckMask throttles context polls to one ctx.Err() call per
+// ctxCheckMask+1 node expansions.
+const ctxCheckMask = 1023
+
+// searchExpansions accumulates node expansions across every Exhaustive
+// search in the process, batched once per call.
+var searchExpansions atomic.Int64
+
+// SearchExpansions returns the process-wide total of exhaustive-stroll
+// node expansions.
+func SearchExpansions() int64 { return searchExpansions.Load() }
 
 // ExhaustiveOptions tunes the branch-and-bound search.
 type ExhaustiveOptions struct {
@@ -32,7 +47,18 @@ type ExhaustiveOptions struct {
 // Exhaustive finds a provably optimal n-stroll (paper Algorithms 4/6 use
 // this as their inner engine) unless the node budget is exhausted first.
 func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
+	return ExhaustiveContext(context.Background(), in, opts)
+}
+
+// ExhaustiveContext is Exhaustive under a context: the search polls ctx
+// every ctxCheckMask+1 expansions and, once cancelled, returns the best
+// incumbent found so far (at worst the DP seed) with Optimal == false
+// alongside ctx.Err().
+func ExhaustiveContext(ctx context.Context, in Instance, opts ExhaustiveOptions) (Result, error) {
 	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	nv := len(in.Cost)
@@ -84,6 +110,7 @@ func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
 	nodes := 0
 	budget := opts.NodeBudget
 	exhausted := false
+	cancelled := false
 
 	type cand struct {
 		v int
@@ -97,12 +124,16 @@ func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
 
 	var rec func(last int, depth int, cur float64)
 	rec = func(last int, depth int, cur float64) {
-		if exhausted {
+		if exhausted || cancelled {
 			return
 		}
 		nodes++
 		if budget > 0 && nodes > budget {
 			exhausted = true
+			return
+		}
+		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
+			cancelled = true
 			return
 		}
 		if depth == in.N {
@@ -136,21 +167,26 @@ func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
 			rec(ch.v, depth+1, nc)
 			path = path[:len(path)-1]
 			used[ch.v] = false
-			if exhausted {
+			if exhausted || cancelled {
 				return
 			}
 		}
 	}
 	rec(in.S, 0, 0)
+	searchExpansions.Add(int64(nodes))
 
 	vis := distinctIntermediates(bestPath, in.S, in.T)
 	if len(vis) > in.N {
 		vis = vis[:in.N]
 	}
-	return Result{
+	res := Result{
 		Cost:    bestCost,
 		Walk:    bestPath,
 		Visited: vis,
-		Optimal: !exhausted,
-	}, nil
+		Optimal: !exhausted && !cancelled,
+	}
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }

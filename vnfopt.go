@@ -31,6 +31,7 @@
 package vnfopt
 
 import (
+	"context"
 	"math/rand"
 
 	"vnfopt/internal/engine"
@@ -38,6 +39,7 @@ import (
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
 	"vnfopt/internal/multisfc"
+	"vnfopt/internal/obs"
 	"vnfopt/internal/placement"
 	"vnfopt/internal/predict"
 	"vnfopt/internal/replication"
@@ -210,6 +212,14 @@ func OptimalPlacement(nodeBudget int) PlacementSolver {
 	return placement.Optimal{NodeBudget: nodeBudget, Seed: placement.DP{}}
 }
 
+// OptimalPlacementContext runs Algorithm 4 under a context: the search
+// polls ctx every ~1024 node expansions and, once cancelled, returns the
+// best incumbent found so far (at worst the DP seed) together with
+// ctx.Err(). nodeBudget 0 means unlimited.
+func OptimalPlacementContext(ctx context.Context, d *PPDC, w Workload, sfc SFC, nodeBudget int) (Placement, float64, error) {
+	return placement.Optimal{NodeBudget: nodeBudget, Seed: placement.DP{}}.PlaceContext(ctx, d, w, sfc)
+}
+
 // SteeringPlacement returns the Steering [55] comparison baseline.
 func SteeringPlacement() PlacementSolver { return placement.Steering{} }
 
@@ -250,6 +260,14 @@ func MPareto() Migrator { return migration.MPareto{} }
 // instances only). nodeBudget 0 means unlimited.
 func OptimalMigration(nodeBudget int) Migrator {
 	return migration.Exhaustive{NodeBudget: nodeBudget, Seed: migration.MPareto{}}
+}
+
+// OptimalMigrationContext runs Algorithm 6 under a context: the search
+// polls ctx every ~1024 node expansions and, once cancelled, returns the
+// best incumbent found so far (at worst the mPareto seed or staying put)
+// together with ctx.Err(). nodeBudget 0 means unlimited.
+func OptimalMigrationContext(ctx context.Context, d *PPDC, w Workload, sfc SFC, p Placement, mu float64, nodeBudget int) (Placement, float64, error) {
+	return migration.Exhaustive{NodeBudget: nodeBudget, Seed: migration.MPareto{}}.MigrateContext(ctx, d, w, sfc, p, mu)
 }
 
 // OptimalMigrationSurrogate returns the paper-scale stand-in for
@@ -296,6 +314,13 @@ func SolveStrollDP(in StrollInstance) (StrollResult, error) { return stroll.DP(i
 // unlimited).
 func SolveStrollOptimal(in StrollInstance, nodeBudget int) (StrollResult, error) {
 	return stroll.Exhaustive(in, stroll.ExhaustiveOptions{NodeBudget: nodeBudget})
+}
+
+// SolveStrollOptimalContext is SolveStrollOptimal under a context: once
+// cancelled the best incumbent (at worst the DP seed) is returned with
+// Optimal=false alongside ctx.Err().
+func SolveStrollOptimalContext(ctx context.Context, in StrollInstance, nodeBudget int) (StrollResult, error) {
+	return stroll.ExhaustiveContext(ctx, in, stroll.ExhaustiveOptions{NodeBudget: nodeBudget})
 }
 
 // SolveStrollPrimalDual solves a standalone n-stroll with Algorithm 1.
@@ -371,13 +396,83 @@ type EngineSnapshot = engine.Snapshot
 // EngineStepResult reports one epoch of the control loop.
 type EngineStepResult = engine.StepResult
 
-// NewEngine validates a scenario and returns a running engine.
-func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+// EngineOption is a functional configuration knob for NewEngine,
+// layered over EngineConfig (see WithEnginePolicy and friends).
+type EngineOption = engine.Option
+
+// NewEngine validates a scenario and returns a running engine. Optional
+// knobs may be given either as EngineConfig fields or as options;
+// options are applied last and win.
+func NewEngine(cfg EngineConfig, opts ...EngineOption) (*Engine, error) {
+	return engine.New(cfg, opts...)
+}
+
+// WithEnginePolicy sets the TOM control-loop policy.
+func WithEnginePolicy(p EnginePolicy) EngineOption { return engine.WithPolicy(p) }
+
+// WithEngineMigrator sets the TOM migrator the drift trigger consults.
+func WithEngineMigrator(m Migrator) EngineOption { return engine.WithMigrator(m) }
+
+// WithEnginePlacer sets the TOP solver used for the initial placement.
+func WithEnginePlacer(s PlacementSolver) EngineOption { return engine.WithPlacer(s) }
+
+// WithEngineInitial adopts a precomputed initial placement.
+func WithEngineInitial(p Placement) EngineOption { return engine.WithInitial(p) }
+
+// WithEngineObserver attaches an observability sink (see NewObserver).
+func WithEngineObserver(o *EngineObserver) EngineOption { return engine.WithObserver(o) }
 
 // ResumeEngine restores an engine from a durable state snapshot
 // (Engine.MarshalState / vnfoptd GET /v1/scenarios/{id}/state).
 func ResumeEngine(cfg EngineConfig, stateJSON []byte) (*Engine, error) {
 	return engine.ResumeJSON(cfg, stateJSON)
+}
+
+// --- Observability ---------------------------------------------------------
+
+// MetricsRegistry is a concurrency-safe get-or-create metrics registry
+// (counters, gauges, lock-free streaming histograms) with Prometheus
+// text exposition via WritePrometheus. A nil registry hands out nil
+// handles whose methods all no-op, so instrumentation can stay wired in
+// permanently and be disabled for free.
+type MetricsRegistry = obs.Registry
+
+// EventLog is a bounded ring buffer of structured events (migrations,
+// step errors) with monotonic sequence numbers.
+type EventLog = obs.EventLog
+
+// Event is one EventLog entry.
+type Event = obs.Event
+
+// EngineObserver is the engine's observability sink: pre-resolved
+// metric handles plus an optional event log, built by NewObserver.
+type EngineObserver = engine.Observer
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog returns a bounded event ring (capacity <= 0 selects the
+// default of 256 events).
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// NewObserver resolves the engine metric family against r, labelling
+// every series with the scenario name when non-empty. Attach the result
+// with WithEngineObserver (or SimConfig.Observer). Either argument may
+// be nil.
+func NewObserver(r *MetricsRegistry, events *EventLog, scenario string) *EngineObserver {
+	return engine.NewObserver(r, events, scenario)
+}
+
+// InstrumentedPlacement wraps a TOP solver so every Place call is timed
+// and counted under vnfopt_solver_*{solver="<name>"} in r.
+func InstrumentedPlacement(s PlacementSolver, r *MetricsRegistry) PlacementSolver {
+	return obs.InstrumentedSolver{Inner: s, M: obs.NewSolverMetrics(r, s.Name())}
+}
+
+// InstrumentedMigration wraps a TOM migrator so every Migrate call is
+// timed and counted under vnfopt_migrator_*{migrator="<name>"} in r.
+func InstrumentedMigration(m Migrator, r *MetricsRegistry) Migrator {
+	return obs.InstrumentedMigrator{Inner: m, M: obs.NewMigratorMetrics(r, m.Name())}
 }
 
 // --- Migration policies (extensions) --------------------------------------
