@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-kernels fuzz
+.PHONY: check vet fmt build test race bench bench-smoke bench-kernels fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke
+check: vet fmt build race bench-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,13 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench BenchmarkEngine -benchtime 1x ./internal/engine/
 
+# Seeded chaos run under the race detector: a deterministic fault
+# schedule (inject + heal) driven through the online engine next to a
+# fault-free reference, checking the resilience invariants every epoch
+# (docs/RESILIENCE.md). Seeded, so a failure reproduces exactly.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSeededSchedule|TestChaosDeterminism' ./internal/chaos/
+
 # Full figure/ablation benchmark sweep (minutes).
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -45,3 +52,4 @@ bench-kernels:
 fuzz:
 	$(GO) test -fuzz FuzzCostCacheEquivalence -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzDifferential -fuzztime 30s -run xxx ./internal/differential/
+	$(GO) test -fuzz FuzzFaultHealRoundTrip -fuzztime 30s -run xxx ./internal/fault/

@@ -28,6 +28,10 @@ const (
 	codeConflict errorCode = "conflict"
 	// codeInternal: the engine failed while processing a valid request.
 	codeInternal errorCode = "internal"
+	// codeUnavailable: the request is valid but the degraded fabric cannot
+	// satisfy it (e.g. a fault transition that leaves no feasible
+	// placement). Retry after healing capacity.
+	codeUnavailable errorCode = "unavailable"
 )
 
 // httpStatus maps an error code to its HTTP status. Unknown codes are
@@ -42,6 +46,8 @@ func httpStatus(c errorCode) int {
 		return http.StatusNotFound
 	case codeConflict:
 		return http.StatusConflict
+	case codeUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -14,17 +14,22 @@
 //	DELETE /v1/scenarios/{id}           drop a scenario
 //	POST   /v1/scenarios/{id}/rates     ingest rate deltas (optional step)
 //	POST   /v1/scenarios/{id}/step      close the epoch / run the TOM loop
+//	POST   /v1/scenarios/{id}/faults    inject/heal topology faults (repair)
+//	GET    /v1/scenarios/{id}/faults    active faults + unserved flows
 //	GET    /v1/scenarios/{id}/placement lock-free placement snapshot
 //	GET    /v1/scenarios/{id}/state     durable engine state (JSON)
 //	GET    /v1/scenarios/{id}/metrics   per-scenario engine counters (JSON)
 //	GET    /v1/scenarios/{id}/events    bounded event ring (migrations, errors)
 //	GET    /metrics                     Prometheus text exposition
 //	GET    /healthz                     liveness
+//	GET    /readyz                      readiness (503 while any scenario is degraded)
 //	GET    /debug/pprof/*               profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains in-flight requests (bounded by
 // -drain) and, when -snapshot is set, persists every scenario's engine
-// state; the next boot restores them.
+// state; the next boot restores them. With -snapshot set the state is
+// also persisted periodically (-snapshot-every, fsync + atomic rename),
+// so a crash loses at most one interval.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		snapshot  = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
+		snapEvery = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval (requires -snapshot; 0 disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel  = flag.String("log-level", "info", "slog level: debug, info, warn, or error")
@@ -66,7 +72,21 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	// The timeouts harden the listener against slow-loris clients and
+	// stuck connections; request bodies are additionally bounded per
+	// route with http.MaxBytesReader.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	loopCtx, loopCancel := context.WithCancel(context.Background())
+	defer loopCancel()
+	if *snapshot != "" && *snapEvery > 0 {
+		go srv.snapshotLoop(loopCtx, *snapshot, *snapEvery)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("vnfoptd: listening on %s\n", *addr)
@@ -81,13 +101,14 @@ func main() {
 		}
 	case s := <-sig:
 		fmt.Printf("vnfoptd: %v, draining\n", s)
+		loopCancel()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "vnfoptd: drain: %v\n", err)
 		}
 		cancel()
 		if *snapshot != "" {
-			if err := srv.saveSnapshot(*snapshot); err != nil {
+			if err := srv.saveSnapshotRetry(*snapshot, 3, 100*time.Millisecond); err != nil {
 				fmt.Fprintf(os.Stderr, "vnfoptd: snapshot: %v\n", err)
 				os.Exit(1)
 			}

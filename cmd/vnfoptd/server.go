@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"vnfopt/internal/engine"
+	"vnfopt/internal/fault"
 	"vnfopt/internal/graph"
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
@@ -244,12 +246,15 @@ func (s *server) handler() http.Handler {
 	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime": time.Since(s.start).String()})
 	})
+	route("GET /readyz", s.handleReady)
 	route("GET /metrics", s.handleMetrics)
 	route("POST /v1/scenarios", s.handleCreate)
 	route("GET /v1/scenarios", s.handleList)
 	route("DELETE /v1/scenarios/{id}", s.handleDelete)
 	route("POST /v1/scenarios/{id}/rates", s.handleRates)
 	route("POST /v1/scenarios/{id}/step", s.handleStep)
+	route("POST /v1/scenarios/{id}/faults", s.handleFaults)
+	route("GET /v1/scenarios/{id}/faults", s.handleFaultsGet)
 	route("GET /v1/scenarios/{id}/placement", s.handlePlacement)
 	route("GET /v1/scenarios/{id}/state", s.handleState)
 	route("GET /v1/scenarios/{id}/metrics", s.handleScenarioMetrics)
@@ -270,9 +275,14 @@ func (s *server) get(id string) *scenario {
 	return s.scenarios[id]
 }
 
+// maxBodyBytes bounds every JSON request body: a well-formed request is
+// a few KB (rate batches scale with flow count, never past a few MB),
+// so 8 MiB rejects pathological bodies before the decoder buffers them.
+const maxBodyBytes = 8 << 20
+
 func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec ScenarioSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, codeBadRequest, "bad scenario spec: %v", err)
@@ -368,7 +378,7 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ratesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, codeBadRequest, "bad rates body: %v", err)
 		return
 	}
@@ -405,6 +415,85 @@ func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// faultsRequest is the topology-event body: faults to inject and faults
+// to heal, applied as one atomic transition.
+type faultsRequest struct {
+	Inject []fault.Fault `json:"inject"`
+	Heal   []fault.Fault `json:"heal"`
+}
+
+// handleFaults applies a topology event to one scenario: the engine
+// swaps in the degraded view, replans service, and runs a repair
+// migration. An infeasible transition (no surviving placement) is
+// rejected with 503 unavailable and leaves the scenario untouched.
+func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	var req faultsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, codeBadRequest, "bad faults body: %v", err)
+		return
+	}
+	sc.mu.Lock()
+	res, err := sc.eng.ApplyFaults(r.Context(), req.Inject, req.Heal)
+	sc.mu.Unlock()
+	switch {
+	case errors.Is(err, engine.ErrInfeasible):
+		writeError(w, codeUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, codeInvalidArgument, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleFaultsGet reports the scenario's active faults and unserved
+// flows.
+func (s *server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	snap := sc.eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       sc.ID,
+		"active":   sc.eng.Faults(),
+		"degraded": snap.Degraded,
+		"unserved": sc.eng.Unserved(),
+	})
+}
+
+// handleReady is the readiness probe: 200 while every scenario serves
+// its full fabric, 503 (with the degraded scenario ids) while any is in
+// degraded mode. Liveness (/healthz) stays green either way.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.scenarios))
+	for id := range s.scenarios {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	var degraded []string
+	for _, id := range ids {
+		if sc := s.get(id); sc != nil && sc.eng.Snapshot().Degraded {
+			degraded = append(degraded, id)
+		}
+	}
+	if len(degraded) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "degraded": degraded})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
@@ -476,7 +565,9 @@ type persistedScenario struct {
 	Spec *ScenarioSpec `json:"spec"`
 }
 
-// saveSnapshot writes every scenario's spec+state to path.
+// saveSnapshot writes every scenario's spec+state to path via
+// writeFileAtomic (fsync + rename), so a crash mid-write never tears
+// the snapshot.
 func (s *server) saveSnapshot(path string) error {
 	s.mu.RLock()
 	ids := make([]string, 0, len(s.scenarios))
@@ -505,11 +596,7 @@ func (s *server) saveSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return writeFileAtomic(path, data, 0o644)
 }
 
 // loadSnapshot restores scenarios from a snapshot file; a missing file is

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// writeFileAtomic writes data to path so a crash at any instant leaves
+// either the old file or the new one, never a torn mix:
+//
+//  1. the bytes land in a same-directory temp file (rename only works
+//     atomically within one filesystem),
+//  2. the temp file is fsynced before rename — otherwise the rename can
+//     hit disk before the data and a power cut leaves an empty file
+//     under the final name,
+//  3. the rename swaps it in,
+//  4. the directory is fsynced so the rename itself is durable.
+//
+// The temp name is fixed (path + ".tmp"), so an interrupted write is
+// overwritten by the next attempt instead of leaking files.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}
+
+// saveSnapshotRetry runs saveSnapshot with bounded retry: transient
+// failures (disk pressure, a slow NFS mount) back off and try again up
+// to attempts times; the last error is returned. attempts < 1 is
+// treated as 1.
+func (s *server) saveSnapshotRetry(path string, attempts int, backoff time.Duration) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = s.saveSnapshot(path); err == nil {
+			return nil
+		}
+		s.log.Warn("snapshot attempt failed", "attempt", i+1, "of", attempts, "err", err)
+	}
+	return fmt.Errorf("snapshot after %d attempts: %w", attempts, err)
+}
+
+// snapshotLoop persists the server state every interval until ctx is
+// cancelled. Each tick uses bounded retry; a tick that still fails is
+// logged and the loop keeps going — periodic snapshotting must never
+// take the control plane down.
+func (s *server) snapshotLoop(ctx context.Context, path string, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.saveSnapshotRetry(path, 3, 100*time.Millisecond); err != nil {
+				s.log.Error("periodic snapshot failed", "path", path, "err", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/fault"
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+	"vnfopt/internal/workload"
+)
+
+func scenario(t *testing.T, seed int64) (*model.PPDC, model.Workload) {
+	t.Helper()
+	ft := topology.MustFatTree(4, nil)
+	d := model.MustNew(ft, model.Options{})
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.MustPairsClustered(ft, 24, 4, workload.DefaultIntraRack, rng)
+	for i := range w {
+		w[i].Rate = workload.Rate(rng)
+	}
+	return d, w
+}
+
+// TestChaosSeededSchedule is the chaos-smoke entry point (see
+// `make chaos-smoke`): a seeded schedule on the k=4 fat tree, run under
+// the strict μ=0 always-consult configuration, must satisfy every
+// invariant and return exactly to the fault-free optimum after the
+// final heal.
+func TestChaosSeededSchedule(t *testing.T) {
+	d, w := scenario(t, 7)
+	sched, err := Generate(d, w, 3, 42, GenOptions{Epochs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for _, ev := range sched.Events {
+		injected += len(ev.Inject)
+	}
+	if injected == 0 {
+		t.Fatal("schedule injected nothing; chaos run would be vacuous")
+	}
+	rep, err := Run(context.Background(), Config{
+		PPDC: d, SFC: model.NewSFC(3), Base: w, Mu: 0,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != sched.Epochs {
+		t.Fatalf("report covers %d epochs, want %d", len(rep.Epochs), sched.Epochs)
+	}
+	if rep.Repairs == 0 {
+		t.Fatal("no repair pass ran despite injected faults")
+	}
+	if rep.FinalCost != rep.RefFinalCost {
+		t.Fatalf("healed cost %v != fault-free optimum %v", rep.FinalCost, rep.RefFinalCost)
+	}
+	if last := rep.Epochs[len(rep.Epochs)-1]; last.Active != 0 || last.Unserved != 0 {
+		t.Fatalf("final epoch not pristine: %+v", last)
+	}
+}
+
+// TestChaosRunWithMigrationCost exercises the relaxed μ>0 mode: the
+// strict equality is off, but every per-epoch invariant must still
+// hold.
+func TestChaosRunWithMigrationCost(t *testing.T) {
+	d, w := scenario(t, 9)
+	sched, err := Generate(d, w, 3, 17, GenOptions{Epochs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		PPDC: d, SFC: model.NewSFC(3), Base: w, Mu: 1e3,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalCost <= 0 || rep.RefFinalCost <= 0 {
+		t.Fatalf("degenerate final costs: %v vs %v", rep.FinalCost, rep.RefFinalCost)
+	}
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	d, w := scenario(t, 7)
+	run := func() []byte {
+		sched, err := Generate(d, w, 3, 42, GenOptions{Epochs: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), Config{
+			PPDC: d, SFC: model.NewSFC(3), Base: w, Mu: 0,
+		}, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatal("two runs with the same seed diverged")
+	}
+}
+
+// TestGenerateFeasiblePrefixes replays every schedule prefix against the
+// pristine model: the cumulative fault set must stay valid and feasible
+// at each event, and must be empty at the end.
+func TestGenerateFeasiblePrefixes(t *testing.T) {
+	d, w := scenario(t, 3)
+	for _, seed := range []int64{1, 2, 3, 99} {
+		sched, err := Generate(d, w, 3, seed, GenOptions{Epochs: 20, MaxActive: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := fault.FaultSet{}
+		lastEpoch := 0
+		for _, ev := range sched.Events {
+			if ev.Epoch < lastEpoch {
+				t.Fatalf("seed %d: events out of order", seed)
+			}
+			lastEpoch = ev.Epoch
+			if ev.Epoch > sched.Epochs {
+				t.Fatalf("seed %d: event past the schedule end", seed)
+			}
+			for _, f := range ev.Heal {
+				if !active.Contains(f) {
+					t.Fatalf("seed %d: heal of inactive fault %s", seed, f)
+				}
+				active = active.Remove(f)
+			}
+			for _, f := range ev.Inject {
+				if active.Contains(f) {
+					t.Fatalf("seed %d: duplicate inject %s", seed, f)
+				}
+				active = active.Add(f)
+			}
+			v, err := fault.Apply(d, active)
+			if err != nil {
+				t.Fatalf("seed %d: invalid prefix: %v", seed, err)
+			}
+			plan := v.PlanService(w)
+			if err := plan.Feasible(3); err != nil {
+				t.Fatalf("seed %d: infeasible prefix: %v", seed, err)
+			}
+		}
+		if !active.Empty() {
+			t.Fatalf("seed %d: schedule ends with %d active faults", seed, active.Len())
+		}
+	}
+}

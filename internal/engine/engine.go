@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vnfopt/internal/fault"
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
 	"vnfopt/internal/placement"
@@ -61,6 +62,14 @@ type Policy struct {
 	// delta path except when an epoch touches more pairs than the cache
 	// currently holds.
 	RebuildFraction float64 `json:"rebuild_fraction"`
+	// RepairRetries is the number of attempts a topology event makes to
+	// obtain an exact (non-fallback) repair before accepting the greedy
+	// fallback (0 = default 3). Attempts after the first back off by
+	// RepairBackoff, doubling each time.
+	RepairRetries int `json:"repair_retries"`
+	// RepairBackoff is the initial backoff between repair attempts
+	// (0 = default 25ms).
+	RepairBackoff time.Duration `json:"repair_backoff_ns"`
 }
 
 // Config describes one engine instance. The first four fields (PPDC,
@@ -127,6 +136,14 @@ type Snapshot struct {
 	CommittedEpoch int `json:"committed_epoch"`
 	// Migrations counts commits after the initial placement.
 	Migrations int `json:"migrations"`
+	// Degraded reports whether any topology fault is active.
+	Degraded bool `json:"degraded"`
+	// ActiveFaults is the number of active faults.
+	ActiveFaults int `json:"active_faults"`
+	// UnservedFlows is the number of flows excluded from service (dead
+	// endpoint or partitioned away from the SFC's region); their traffic
+	// is reported, never Inf-costed.
+	UnservedFlows int `json:"unserved_flows"`
 }
 
 // StepResult reports one closed epoch.
@@ -175,6 +192,14 @@ type Metrics struct {
 	// UpdatesCoalesced counts accepted updates that overwrote a pending
 	// update to the same flow (last write wins) before the epoch closed.
 	UpdatesCoalesced int64 `json:"updates_coalesced"`
+	// FaultsInjected/FaultsHealed count topology fault transitions;
+	// Repairs counts repair passes run by topology events, and
+	// RepairFallbacks the subset that committed the greedy fallback
+	// because the exact TOM consult failed or was cancelled.
+	FaultsInjected  int64 `json:"faults_injected"`
+	FaultsHealed    int64 `json:"faults_healed"`
+	Repairs         int   `json:"repairs"`
+	RepairFallbacks int   `json:"repair_fallbacks"`
 	// LastEpoch and TotalEpoch time the Step calls.
 	LastEpoch  time.Duration `json:"last_epoch_ns"`
 	TotalEpoch time.Duration `json:"total_epoch_ns"`
@@ -198,6 +223,17 @@ type Engine struct {
 	cache   *model.WorkloadCache
 	p       model.Placement
 	pending map[int]float64 // coalesced flow → rate for the next epoch
+
+	// Topology-fault state (see faults.go). d is the active serving
+	// model: cfg.PPDC while healthy, the fault view's service-region
+	// model while degraded. servable masks flows excluded from service
+	// (nil = all servable); the cache and every consult see only served
+	// flows, so an unreachable pair can never Inf-poison a cost.
+	d        *model.PPDC
+	view     *fault.View
+	faults   fault.FaultSet
+	servable []bool
+	unserved []fault.UnservedFlow
 
 	epoch          int
 	committedCost  float64
@@ -243,6 +279,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		obs:          cfg.Observer,
 		flows:        append(model.Workload(nil), cfg.Base...),
 		pending:      make(map[int]float64),
+		d:            cfg.PPDC,
 		lastMigEpoch: -1,
 	}
 	if cfg.Policy.Budget > 0 {
@@ -335,9 +372,10 @@ func (e *Engine) Step() (StepResult, error) {
 	cooled := e.cfg.Policy.Cooldown <= 0 ||
 		e.lastMigEpoch < 0 ||
 		e.epoch-e.lastMigEpoch > e.cfg.Policy.Cooldown
-	if drifted && cooled {
+	served := e.servedWorkload()
+	if drifted && cooled && len(served) > 0 {
 		consultStart := time.Now()
-		m, ct, err := e.mig.Migrate(e.cfg.PPDC, e.flows, e.cfg.SFC, e.p, e.cfg.Mu)
+		m, ct, err := e.safeMigrate(served)
 		consultTime = time.Since(consultStart)
 		if err != nil {
 			e.epoch-- // the epoch did not close; pending already folded
@@ -350,7 +388,7 @@ func (e *Engine) Step() (StepResult, error) {
 		if moves := migration.MigrationCount(e.p, m); moves > 0 {
 			res.Migrated = true
 			res.Moves = moves
-			res.MigCost = e.cfg.PPDC.MigrationCost(e.p, m, e.cfg.Mu)
+			res.MigCost = e.d.MigrationCost(e.p, m, e.cfg.Mu)
 			e.p = m.Clone()
 			curCost = e.cache.CommCost(e.p)
 			e.committedCost = curCost
@@ -405,6 +443,12 @@ func (e *Engine) applyPending() {
 		}
 		dr := r - f.Rate
 		f.Rate = r
+		if e.servable != nil && !e.servable[i] {
+			// The flow is excluded from service (dead endpoint or
+			// partitioned); its rate is recorded for the eventual heal but
+			// the serving cache holds no pair for it.
+			continue
+		}
 		key := [2]int{f.Src, f.Dst}
 		if j, ok := where[key]; ok {
 			deltas[j].dr += dr
@@ -423,7 +467,7 @@ func (e *Engine) applyPending() {
 		pairs = 1
 	}
 	if float64(len(deltas)) > e.cfg.Policy.RebuildFraction*float64(pairs) {
-		e.cache.SetWorkload(e.flows)
+		e.cache.SetWorkload(e.servedWorkload())
 		e.met.RebuildEpochs++
 		return
 	}
@@ -435,6 +479,35 @@ func (e *Engine) applyPending() {
 	e.met.DeltaEpochs++
 }
 
+// servedWorkload returns the live workload restricted to servable flows:
+// e.flows itself while healthy, a filtered copy while degraded. Called
+// with e.mu held.
+func (e *Engine) servedWorkload() model.Workload {
+	if e.servable == nil {
+		return e.flows
+	}
+	w := make(model.Workload, 0, len(e.flows))
+	for i, f := range e.flows {
+		if e.servable[i] {
+			w = append(w, f)
+		}
+	}
+	return w
+}
+
+// safeMigrate consults the effective migrator on the active serving
+// model with panic containment: a panicking solver surfaces as an
+// ordinary error (step_error event + vnfopt_engine_step_errors_total)
+// instead of killing the control loop. Called with e.mu held.
+func (e *Engine) safeMigrate(w model.Workload) (m model.Placement, ct float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, ct, err = nil, 0, fmt.Errorf("migrator %s panicked: %v", e.mig.Name(), r)
+		}
+	}()
+	return e.mig.Migrate(e.d, w, e.cfg.SFC, e.p, e.cfg.Mu)
+}
+
 // publish swaps the reader snapshot. Called with e.mu held.
 func (e *Engine) publish(curCost float64) {
 	e.snap.Store(&Snapshot{
@@ -444,6 +517,9 @@ func (e *Engine) publish(curCost float64) {
 		CommittedCost:  e.committedCost,
 		CommittedEpoch: e.committedEpoch,
 		Migrations:     e.met.Migrations,
+		Degraded:       e.view != nil,
+		ActiveFaults:   e.faults.Len(),
+		UnservedFlows:  len(e.unserved),
 	})
 }
 

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"vnfopt/internal/fault"
+	"vnfopt/internal/migration"
+)
+
+// ErrInfeasible reports a fault transition that would leave the fabric
+// unable to host the SFC (no live switch region with enough capacity).
+// ApplyFaults rejects such transitions atomically: the engine keeps
+// serving on its previous state, and the daemon maps the error to 503.
+var ErrInfeasible = errors.New("engine: no feasible placement on the degraded fabric")
+
+// FaultResult reports one topology-event transition.
+type FaultResult struct {
+	// Active is the fault set after the transition, sorted.
+	Active []fault.Fault `json:"active"`
+	// Degraded reports whether any fault remains active.
+	Degraded bool `json:"degraded"`
+	// Injected/Healed count the faults this call actually added/removed
+	// (re-injecting an active fault is a no-op, not an error).
+	Injected int `json:"injected"`
+	Healed   int `json:"healed"`
+	// Unserved lists the flows excluded from service after the
+	// transition, with reasons.
+	Unserved []fault.UnservedFlow `json:"unserved,omitempty"`
+	// Repair is the repair pass that re-validated the placement on the
+	// new fabric (nil when the call was a no-op).
+	Repair *migration.RepairResult `json:"repair,omitempty"`
+	// Attempts is the number of repair attempts made; attempts beyond
+	// the first retried a fallback hoping for an exact consult.
+	Attempts int `json:"repair_attempts,omitempty"`
+}
+
+// ApplyFaults is the engine's topology-event path, the structural
+// counterpart of the rate-ingest path: inject marks links/switches/hosts
+// down, heal brings them back, and the engine atomically swaps in the
+// degraded view, replans service (excluding unreachable flows), rebuilds
+// the aggregated cost cache over the served workload, and runs a repair
+// migration so the placement only ever uses live switches.
+//
+// The repair consults the engine's configured migrator via
+// migration.Repair; when the exact consult fails or is cancelled the
+// greedy fallback is retried up to Policy.RepairRetries times with
+// doubling backoff starting at Policy.RepairBackoff before the fallback
+// placement is accepted. Repair never leaves the engine on a dead
+// switch once a feasible patch exists.
+//
+// On any error the engine state is untouched. The call fails with
+// ErrInfeasible (wrapped) when the surviving fabric cannot host the SFC.
+func (e *Engine) ApplyFaults(ctx context.Context, inject, heal []fault.Fault) (*FaultResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	next := e.faults
+	injected, healed := 0, 0
+	for _, f := range inject {
+		if err := f.Validate(e.cfg.PPDC); err != nil {
+			return nil, fmt.Errorf("engine: inject: %w", err)
+		}
+		if !next.Contains(f) {
+			injected++
+		}
+		next = next.Add(f)
+	}
+	for _, f := range heal {
+		if !next.Contains(f) {
+			return nil, fmt.Errorf("engine: heal of inactive fault %s", f)
+		}
+		next = next.Remove(f)
+		healed++
+	}
+	if injected == 0 && healed == 0 {
+		return e.faultResult(nil, 0, 0, 0), nil
+	}
+
+	// Fold pending rates directly into the flow table so the service
+	// plan and the rebuilt cache see the latest offered rates; the cache
+	// is reconstructed below either way.
+	for i, r := range e.pending {
+		e.flows[i].Rate = r
+	}
+	clear(e.pending)
+
+	view, err := fault.Apply(e.cfg.PPDC, next)
+	if err != nil {
+		return nil, err
+	}
+	plan := view.PlanService(e.flows)
+	if err := plan.Feasible(e.cfg.SFC.Len()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+
+	retries := e.cfg.Policy.RepairRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := e.cfg.Policy.RepairBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var res *migration.RepairResult
+	attempts := 0
+	for {
+		attempts++
+		res, err = migration.Repair(ctx, plan.PPDC, e.cfg.PPDC, plan.Served, e.cfg.SFC, e.p, e.cfg.Mu, e.mig)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		if !res.Fallback || attempts >= retries || ctx.Err() != nil {
+			break
+		}
+		e.obs.observeRepairRetry(attempts, res.FallbackReason)
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+
+	// Commit: swap serving model, cache, masks, and placement together
+	// under the engine lock.
+	cache := plan.PPDC.NewWorkloadCache(plan.Served)
+	if e.obs != nil {
+		cache.SetObserver(e.obs)
+	}
+	e.cache = cache
+	if next.Empty() {
+		e.d, e.view, e.servable, e.unserved = e.cfg.PPDC, nil, nil, nil
+	} else {
+		e.d, e.view, e.servable, e.unserved = plan.PPDC, view, plan.Servable, plan.Unserved
+	}
+	e.faults = next
+	e.met.FaultsInjected += int64(injected)
+	e.met.FaultsHealed += int64(healed)
+	e.met.Repairs++
+	if res.Fallback {
+		e.met.RepairFallbacks++
+	}
+	if res.Moves > 0 {
+		e.p = res.Placement.Clone()
+		e.met.Migrations++
+		e.met.Moves += res.Moves
+		e.lastMigEpoch = e.epoch
+	}
+	// Re-anchor the drift trigger: the committed reference was priced on
+	// the previous fabric and workload.
+	cur := e.cache.CommCost(e.p)
+	e.committedCost = cur
+	e.committedEpoch = e.epoch
+
+	out := e.faultResult(res, injected, healed, attempts)
+	e.obs.observeFaults(out)
+	e.publish(cur)
+	return out, nil
+}
+
+// Faults returns the active fault set, sorted deterministically.
+func (e *Engine) Faults() []fault.Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults.Faults()
+}
+
+// Unserved returns the flows currently excluded from service.
+func (e *Engine) Unserved() []fault.UnservedFlow {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]fault.UnservedFlow(nil), e.unserved...)
+}
+
+// faultResult assembles a FaultResult from the current engine state.
+// Called with e.mu held.
+func (e *Engine) faultResult(res *migration.RepairResult, injected, healed, attempts int) *FaultResult {
+	return &FaultResult{
+		Active:   e.faults.Faults(),
+		Degraded: e.view != nil,
+		Injected: injected,
+		Healed:   healed,
+		Unserved: append([]fault.UnservedFlow(nil), e.unserved...),
+		Repair:   res,
+		Attempts: attempts,
+	}
+}

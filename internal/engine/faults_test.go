@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"vnfopt/internal/fault"
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/obs"
+	"vnfopt/internal/topology"
+)
+
+// panicMigrator stands in for a buggy TOM solver: it panics on every
+// consult.
+type panicMigrator struct{}
+
+func (panicMigrator) Name() string { return "panic" }
+func (panicMigrator) Migrate(*model.PPDC, model.Workload, model.SFC, model.Placement, float64) (model.Placement, float64, error) {
+	panic("deliberate test panic")
+}
+
+// failNMigrator fails (or panics) the first n consults, then delegates
+// to mPareto.
+type failNMigrator struct {
+	n      *int
+	panics bool
+}
+
+func (failNMigrator) Name() string { return "failN" }
+func (m failNMigrator) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
+	if *m.n > 0 {
+		*m.n--
+		if m.panics {
+			panic("transient solver panic")
+		}
+		return nil, 0, fmt.Errorf("transient solver failure")
+	}
+	return migration.MPareto{}.Migrate(d, w, sfc, p, mu)
+}
+
+// TestStepRecoversMigratorPanic is the regression test for panic
+// containment: a panicking migrator must surface as a step error (event
+// + counter) and leave the engine usable, not kill the process.
+func TestStepRecoversMigratorPanic(t *testing.T) {
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(64)
+	e, _ := newEngineOpts(t, Policy{}, 11,
+		WithMigrator(panicMigrator{}),
+		WithObserver(NewObserver(reg, events, "")))
+	if _, err := e.Step(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Step with panicking migrator: err=%v, want panic surfaced as error", err)
+	}
+	if got := reg.Counter("vnfopt_engine_step_errors_total").Value(); got != 1 {
+		t.Fatalf("step_errors_total=%d, want 1", got)
+	}
+	found := false
+	for _, ev := range events.Events() {
+		if ev.Type == "step_error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no step_error event recorded")
+	}
+	// The failed epoch did not close; the engine keeps serving.
+	if snap := e.Snapshot(); snap.Epoch != 0 {
+		t.Fatalf("epoch advanced past failed step: %d", snap.Epoch)
+	}
+}
+
+func TestApplyFaultsRepairsPlacement(t *testing.T) {
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(256)
+	e, _ := newEngineOpts(t, Policy{}, 7, WithObserver(NewObserver(reg, events, "")))
+	victim := e.Snapshot().Placement[0]
+	f := fault.Fault{Kind: fault.Switch, U: victim}
+
+	res, err := e.ApplyFaults(context.Background(), []fault.Fault{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Injected != 1 || len(res.Active) != 1 {
+		t.Fatalf("bad transition report: %+v", res)
+	}
+	if res.Repair == nil || res.Repair.Moves < 1 {
+		t.Fatalf("killing a hosting switch must force a repair move: %+v", res.Repair)
+	}
+	snap := e.Snapshot()
+	if !snap.Degraded || snap.ActiveFaults != 1 {
+		t.Fatalf("snapshot not degraded: %+v", snap)
+	}
+	for _, s := range snap.Placement {
+		if s == victim {
+			t.Fatalf("placement still uses dead switch %d", victim)
+		}
+	}
+	if reg.Gauge("vnfopt_engine_degraded").Value() != 1 {
+		t.Fatal("degraded gauge not set")
+	}
+	if reg.Counter("vnfopt_engine_repairs_total").Value() != 1 {
+		t.Fatal("repairs counter not incremented")
+	}
+	var sawRepair bool
+	for _, ev := range events.Events() {
+		if ev.Type == "repair" {
+			sawRepair = true
+		}
+	}
+	if !sawRepair {
+		t.Fatal("no repair event recorded")
+	}
+
+	// Stepping while degraded keeps costs finite and the placement live.
+	sr, err := e.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(sr.CommCost, 0) || math.IsNaN(sr.CommCost) {
+		t.Fatalf("degraded step cost not finite: %v", sr.CommCost)
+	}
+
+	// Heal: back to the pristine fabric, gauges reset.
+	res, err = e.ApplyFaults(context.Background(), nil, []fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Healed != 1 || len(res.Active) != 0 {
+		t.Fatalf("bad heal report: %+v", res)
+	}
+	snap = e.Snapshot()
+	if snap.Degraded || snap.ActiveFaults != 0 || snap.UnservedFlows != 0 {
+		t.Fatalf("snapshot still degraded after heal: %+v", snap)
+	}
+	if reg.Gauge("vnfopt_engine_degraded").Value() != 0 {
+		t.Fatal("degraded gauge not cleared")
+	}
+	m := e.Metrics()
+	if m.FaultsInjected != 1 || m.FaultsHealed != 1 {
+		t.Fatalf("fault counters: %+v", m)
+	}
+}
+
+func TestApplyFaultsDeadHostExcludesFlow(t *testing.T) {
+	e, _ := newEngine(t, Policy{}, 13)
+	victim := e.cfg.Base[0].Src
+	res, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Host, U: victim}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unserved) == 0 {
+		t.Fatal("killing a flow endpoint must unserve the flow")
+	}
+	for _, u := range res.Unserved {
+		if u.Reason != fault.ReasonDeadEndpoint {
+			t.Fatalf("reason=%q, want dead_endpoint", u.Reason)
+		}
+	}
+	snap := e.Snapshot()
+	if snap.UnservedFlows != len(res.Unserved) {
+		t.Fatalf("snapshot unserved=%d, want %d", snap.UnservedFlows, len(res.Unserved))
+	}
+	// Rate updates to an unserved flow are still accepted and recorded.
+	if _, err := e.OfferRates([]RateUpdate{{Flow: res.Unserved[0].Flow, Rate: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	if sr, err := e.Step(); err != nil {
+		t.Fatal(err)
+	} else if math.IsInf(sr.CommCost, 0) || math.IsNaN(sr.CommCost) {
+		t.Fatalf("cost not finite with unserved flow: %v", sr.CommCost)
+	}
+	if e.flows[res.Unserved[0].Flow].Rate != 42 {
+		t.Fatal("rate update to unserved flow not recorded")
+	}
+}
+
+func TestApplyFaultsInfeasibleIsAtomic(t *testing.T) {
+	topo, err := topology.Linear(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.MustNew(topo, model.Options{})
+	base := model.Workload{{Src: topo.Hosts[0], Dst: topo.Hosts[1], Rate: 2}}
+	e, err := New(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Snapshot()
+	var kill []fault.Fault
+	for _, s := range topo.Switches {
+		kill = append(kill, fault.Fault{Kind: fault.Switch, U: s})
+	}
+	_, err = e.ApplyFaults(context.Background(), kill, nil)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+	after := e.Snapshot()
+	if after.Degraded || len(e.Faults()) != 0 {
+		t.Fatal("rejected transition mutated engine state")
+	}
+	if after.Epoch != before.Epoch || after.CommCost != before.CommCost {
+		t.Fatalf("snapshot changed on rejected transition: %+v vs %+v", before, after)
+	}
+}
+
+func TestApplyFaultsRetriesThenExactRepair(t *testing.T) {
+	fails := 2
+	e, _ := newEngineOpts(t, Policy{RepairRetries: 3, RepairBackoff: time.Millisecond}, 7,
+		WithMigrator(failNMigrator{n: &fails, panics: true}))
+	victim := e.Snapshot().Placement[0]
+	res, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Switch, U: victim}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts=%d, want 3 (2 failures + 1 success)", res.Attempts)
+	}
+	if res.Repair.Fallback {
+		t.Fatal("third attempt should have produced an exact repair")
+	}
+	if e.Metrics().RepairFallbacks != 0 {
+		t.Fatal("no fallback should have been committed")
+	}
+}
+
+func TestApplyFaultsAcceptsFallbackAfterRetries(t *testing.T) {
+	e, _ := newEngineOpts(t, Policy{RepairRetries: 2, RepairBackoff: time.Millisecond}, 7,
+		WithMigrator(panicMigrator{}))
+	victim := e.Snapshot().Placement[0]
+	res, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Switch, U: victim}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || !res.Repair.Fallback {
+		t.Fatalf("want 2 attempts ending in committed fallback, got %+v", res)
+	}
+	if m := e.Metrics(); m.RepairFallbacks != 1 || m.Repairs != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	for _, s := range e.Snapshot().Placement {
+		if s == victim {
+			t.Fatal("fallback placement still on dead switch")
+		}
+	}
+}
+
+func TestApplyFaultsNoopAndHealValidation(t *testing.T) {
+	e, _ := newEngine(t, Policy{}, 7)
+	f := fault.Fault{Kind: fault.Switch, U: e.cfg.PPDC.Topo.Switches[0]}
+	if _, err := e.ApplyFaults(context.Background(), nil, []fault.Fault{f}); err == nil {
+		t.Fatal("healing an inactive fault should fail")
+	}
+	if _, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Switch, U: -5}}, nil); err == nil {
+		t.Fatal("injecting an invalid fault should fail")
+	}
+	res, err := e.ApplyFaults(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 0 || res.Healed != 0 || res.Repair != nil {
+		t.Fatalf("empty transition should be a no-op report: %+v", res)
+	}
+	// Re-injecting an active fault is idempotent.
+	if _, err := e.ApplyFaults(context.Background(), []fault.Fault{f}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.ApplyFaults(context.Background(), []fault.Fault{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 0 || len(res.Active) != 1 {
+		t.Fatalf("re-inject should be idempotent: %+v", res)
+	}
+}
+
+func TestStateRoundTripWithFaults(t *testing.T) {
+	e, _ := newEngine(t, Policy{}, 7)
+	victim := e.Snapshot().Placement[0]
+	if _, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Switch, U: victim}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ResumeJSON(e.cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := e.Snapshot(), r.Snapshot()
+	if !s2.Degraded || s2.ActiveFaults != 1 {
+		t.Fatalf("resumed engine lost degraded mode: %+v", s2)
+	}
+	if s1.CommCost != s2.CommCost || s1.Epoch != s2.Epoch {
+		t.Fatalf("resume mismatch: %+v vs %+v", s1, s2)
+	}
+	if len(r.Faults()) != 1 {
+		t.Fatalf("faults=%v, want 1", r.Faults())
+	}
+	// The resumed engine can heal back to pristine.
+	if _, err := r.ApplyFaults(context.Background(), nil, []fault.Fault{{Kind: fault.Switch, U: victim}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot().Degraded {
+		t.Fatal("heal after resume failed")
+	}
+}

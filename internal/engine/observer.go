@@ -23,21 +23,28 @@ type Observer struct {
 	// Events receives migration/error events (nil to drop them).
 	Events *obs.EventLog
 
-	epochSeconds   *obs.Histogram
-	consultSeconds *obs.Histogram
-	improvement    *obs.Histogram
-	deltaMagnitude *obs.Histogram
-	rebuildSeconds *obs.Histogram
-	drift          *obs.Gauge
-	commCost       *obs.Gauge
-	epochs         *obs.Counter
-	updates        *obs.Counter
-	coalesced      *obs.Counter
-	consults       *obs.Counter
-	migrations     *obs.Counter
-	moves          *obs.Counter
-	rebuilds       *obs.Counter
-	deltas         *obs.Counter
+	epochSeconds    *obs.Histogram
+	consultSeconds  *obs.Histogram
+	improvement     *obs.Histogram
+	deltaMagnitude  *obs.Histogram
+	rebuildSeconds  *obs.Histogram
+	drift           *obs.Gauge
+	commCost        *obs.Gauge
+	degraded        *obs.Gauge
+	activeFaults    *obs.Gauge
+	unservedFlows   *obs.Gauge
+	epochs          *obs.Counter
+	updates         *obs.Counter
+	coalesced       *obs.Counter
+	consults        *obs.Counter
+	migrations      *obs.Counter
+	moves           *obs.Counter
+	rebuilds        *obs.Counter
+	deltas          *obs.Counter
+	faultsInjected  *obs.Counter
+	faultsHealed    *obs.Counter
+	repairs         *obs.Counter
+	repairFallbacks *obs.Counter
 }
 
 // NewObserver resolves the engine metric family against r, labelling
@@ -50,23 +57,30 @@ func NewObserver(r *obs.Registry, events *obs.EventLog, scenario string) *Observ
 		l = fmt.Sprintf("{scenario=%q}", scenario)
 	}
 	return &Observer{
-		Registry:       r,
-		Events:         events,
-		epochSeconds:   r.Histogram("vnfopt_engine_epoch_seconds" + l),
-		consultSeconds: r.Histogram("vnfopt_engine_consult_seconds" + l),
-		improvement:    r.Histogram("vnfopt_engine_improvement" + l),
-		deltaMagnitude: r.Histogram("vnfopt_cache_delta_magnitude" + l),
-		rebuildSeconds: r.Histogram("vnfopt_cache_rebuild_seconds" + l),
-		drift:          r.Gauge("vnfopt_engine_drift_ratio" + l),
-		commCost:       r.Gauge("vnfopt_engine_comm_cost" + l),
-		epochs:         r.Counter("vnfopt_engine_epochs_total" + l),
-		updates:        r.Counter("vnfopt_engine_updates_total" + l),
-		coalesced:      r.Counter("vnfopt_engine_updates_coalesced_total" + l),
-		consults:       r.Counter("vnfopt_engine_consults_total" + l),
-		migrations:     r.Counter("vnfopt_engine_migrations_total" + l),
-		moves:          r.Counter("vnfopt_engine_moves_total" + l),
-		rebuilds:       r.Counter("vnfopt_cache_rebuilds_total" + l),
-		deltas:         r.Counter("vnfopt_cache_deltas_total" + l),
+		Registry:        r,
+		Events:          events,
+		epochSeconds:    r.Histogram("vnfopt_engine_epoch_seconds" + l),
+		consultSeconds:  r.Histogram("vnfopt_engine_consult_seconds" + l),
+		improvement:     r.Histogram("vnfopt_engine_improvement" + l),
+		deltaMagnitude:  r.Histogram("vnfopt_cache_delta_magnitude" + l),
+		rebuildSeconds:  r.Histogram("vnfopt_cache_rebuild_seconds" + l),
+		drift:           r.Gauge("vnfopt_engine_drift_ratio" + l),
+		commCost:        r.Gauge("vnfopt_engine_comm_cost" + l),
+		degraded:        r.Gauge("vnfopt_engine_degraded" + l),
+		activeFaults:    r.Gauge("vnfopt_engine_active_faults" + l),
+		unservedFlows:   r.Gauge("vnfopt_engine_unserved_flows" + l),
+		epochs:          r.Counter("vnfopt_engine_epochs_total" + l),
+		updates:         r.Counter("vnfopt_engine_updates_total" + l),
+		coalesced:       r.Counter("vnfopt_engine_updates_coalesced_total" + l),
+		consults:        r.Counter("vnfopt_engine_consults_total" + l),
+		migrations:      r.Counter("vnfopt_engine_migrations_total" + l),
+		moves:           r.Counter("vnfopt_engine_moves_total" + l),
+		rebuilds:        r.Counter("vnfopt_cache_rebuilds_total" + l),
+		deltas:          r.Counter("vnfopt_cache_deltas_total" + l),
+		faultsInjected:  r.Counter("vnfopt_engine_faults_injected_total" + l),
+		faultsHealed:    r.Counter("vnfopt_engine_faults_healed_total" + l),
+		repairs:         r.Counter("vnfopt_engine_repairs_total" + l),
+		repairFallbacks: r.Counter("vnfopt_engine_repair_fallbacks_total" + l),
 	}
 }
 
@@ -125,6 +139,65 @@ func (o *Observer) observeStep(res StepResult, drift float64, consultTime time.D
 				"improvement": improvement,
 			})
 	}
+}
+
+// observeFaults records one committed topology-event transition: the
+// degraded-mode gauges plus fault/repair counters and events.
+func (o *Observer) observeFaults(res *FaultResult) {
+	if o == nil {
+		return
+	}
+	if res.Degraded {
+		o.degraded.Set(1)
+	} else {
+		o.degraded.Set(0)
+	}
+	o.activeFaults.Set(float64(len(res.Active)))
+	o.unservedFlows.Set(float64(len(res.Unserved)))
+	o.faultsInjected.Add(int64(res.Injected))
+	o.faultsHealed.Add(int64(res.Healed))
+	kind := "fault_injected"
+	if res.Injected == 0 {
+		kind = "fault_healed"
+	}
+	o.Events.Append(kind,
+		fmt.Sprintf("%d injected, %d healed; %d active, %d flows unserved",
+			res.Injected, res.Healed, len(res.Active), len(res.Unserved)),
+		map[string]float64{
+			"injected": float64(res.Injected),
+			"healed":   float64(res.Healed),
+			"active":   float64(len(res.Active)),
+			"unserved": float64(len(res.Unserved)),
+		})
+	if res.Repair == nil {
+		return
+	}
+	o.repairs.Inc()
+	if res.Repair.Fallback {
+		o.repairFallbacks.Inc()
+	}
+	if res.Repair.Moves > 0 || res.Repair.Fallback {
+		o.Events.Append("repair",
+			fmt.Sprintf("repair moved %d VNFs (%d forced, cost %.6g, fallback=%v, attempts=%d)",
+				res.Repair.Moves, len(res.Repair.Forced), res.Repair.Cost, res.Repair.Fallback, res.Attempts),
+			map[string]float64{
+				"moves":    float64(res.Repair.Moves),
+				"forced":   float64(len(res.Repair.Forced)),
+				"cost":     res.Repair.Cost,
+				"attempts": float64(res.Attempts),
+			})
+	}
+}
+
+// observeRepairRetry records one repair attempt that fell back and will
+// be retried.
+func (o *Observer) observeRepairRetry(attempt int, reason string) {
+	if o == nil {
+		return
+	}
+	o.Events.Append("repair_retry",
+		fmt.Sprintf("repair attempt %d fell back (%s); retrying", attempt, reason),
+		map[string]float64{"attempt": float64(attempt)})
 }
 
 // observeError records a failed Step.

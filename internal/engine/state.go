@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"vnfopt/internal/fault"
 	"vnfopt/internal/model"
 )
 
@@ -23,6 +24,9 @@ type State struct {
 	CommittedEpoch int     `json:"committed_epoch"`
 	// LastMigration is the epoch of the last commit (-1 = none).
 	LastMigration int `json:"last_migration"`
+	// Faults holds the active topology faults; Resume reapplies them so
+	// a restarted engine comes back in the same degraded mode it left.
+	Faults []fault.Fault `json:"faults,omitempty"`
 	// Metrics carries the monotonic counters across the restart.
 	Metrics Metrics `json:"metrics"`
 }
@@ -39,6 +43,7 @@ func (e *Engine) State() *State {
 		CommittedCost:  e.committedCost,
 		CommittedEpoch: e.committedEpoch,
 		LastMigration:  e.lastMigEpoch,
+		Faults:         e.faults.Faults(),
 		Metrics:        e.met,
 	}
 	st.Metrics.Trajectory = append([]float64(nil), e.met.Trajectory...)
@@ -71,6 +76,30 @@ func Resume(cfg Config, st *State) (*Engine, error) {
 	}
 	e.flows = e.flows.WithRates(st.Rates)
 	e.cache.SetWorkload(e.flows)
+	if len(st.Faults) > 0 {
+		// Reapply the saved faults silently: the saved placement was
+		// already repaired, so no new repair pass runs — it only has to
+		// still validate on the degraded serving model.
+		fs := fault.NewFaultSet(st.Faults...)
+		v, err := fault.Apply(cfg.PPDC, fs)
+		if err != nil {
+			return nil, fmt.Errorf("engine: state faults: %w", err)
+		}
+		plan := v.PlanService(e.flows)
+		if err := plan.Feasible(cfg.SFC.Len()); err != nil {
+			return nil, fmt.Errorf("engine: state faults: %w", err)
+		}
+		if err := st.Placement.Validate(plan.PPDC, cfg.SFC); err != nil {
+			return nil, fmt.Errorf("engine: state placement invalid on degraded fabric: %w", err)
+		}
+		cache := plan.PPDC.NewWorkloadCache(plan.Served)
+		if e.obs != nil {
+			cache.SetObserver(e.obs)
+		}
+		e.cache = cache
+		e.faults = fs
+		e.d, e.view, e.servable, e.unserved = plan.PPDC, v, plan.Servable, plan.Unserved
+	}
 	e.epoch = st.Epoch
 	e.committedCost = st.CommittedCost
 	e.committedEpoch = st.CommittedEpoch

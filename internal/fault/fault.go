@@ -1,0 +1,190 @@
+// Package fault models substrate failures in a PPDC: links, switches,
+// and hosts going down and coming back. The paper's dynamics are limited
+// to traffic-rate churn over an immutable G(V,E); this package supplies
+// the missing half — a FaultSet applied to a pristine model.PPDC yields
+// a degraded View with a rebuilt APSP oracle, reachability/partition
+// detection, and an exact heal round-trip back to the pristine graph.
+//
+// The pristine PPDC is never mutated. A View is a derived, immutable
+// snapshot: injecting or healing faults means building a new View from
+// the pristine model and the new FaultSet. Healing every fault therefore
+// reproduces the original APSP bit-for-bit (fuzzed in
+// FuzzFaultHealRoundTrip); there is no incremental state to drift.
+//
+// Vertex IDs are stable across degradation: dead vertices stay in the
+// graph as isolated vertices (all incident edges removed) so that
+// placements, workloads, and APSP matrices keep their indexing. What
+// changes is the topology's host/switch membership lists — a dead switch
+// is removed from Topo.Switches, which is exactly what makes
+// model.Placement.Validate reject placements that reference it.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// Kind discriminates what failed.
+type Kind string
+
+const (
+	// Link is one physical link {U,V} (all parallel edges between the
+	// endpoints fail together).
+	Link Kind = "link"
+	// Switch is a switch vertex; every incident link fails with it.
+	Switch Kind = "switch"
+	// Host is a host vertex; its flows become unservable while it is down.
+	Host Kind = "host"
+)
+
+// Fault is one failure. For Link faults both U and V are set (order
+// irrelevant); for Switch and Host faults the vertex is U and V must be
+// zero or equal to U.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	U    int  `json:"u"`
+	V    int  `json:"v,omitempty"`
+}
+
+// normalize returns the canonical form of f: link endpoints ordered
+// U ≤ V, vertex faults with V mirrored to U.
+func (f Fault) normalize() Fault {
+	switch f.Kind {
+	case Link:
+		if f.U > f.V {
+			f.U, f.V = f.V, f.U
+		}
+	default:
+		if f.V == 0 || f.V == f.U {
+			f.V = f.U
+		}
+	}
+	return f
+}
+
+// String renders the fault for events and error messages.
+func (f Fault) String() string {
+	f = f.normalize()
+	if f.Kind == Link {
+		return fmt.Sprintf("link{%d,%d}", f.U, f.V)
+	}
+	return fmt.Sprintf("%s{%d}", f.Kind, f.U)
+}
+
+// Validate checks the fault against the pristine PPDC: the kind is
+// known, the vertices exist, link endpoints share at least one edge, and
+// switch/host faults name a vertex of the right kind.
+func (f Fault) Validate(d *model.PPDC) error {
+	n := d.Topo.Graph.Order()
+	f = f.normalize()
+	switch f.Kind {
+	case Link:
+		if f.U < 0 || f.V < 0 || f.U >= n || f.V >= n {
+			return fmt.Errorf("fault: link {%d,%d} out of range [0,%d)", f.U, f.V, n)
+		}
+		if !d.Topo.Graph.HasEdge(f.U, f.V) {
+			return fmt.Errorf("fault: no link between %d and %d", f.U, f.V)
+		}
+	case Switch:
+		if f.U < 0 || f.U >= n {
+			return fmt.Errorf("fault: switch %d out of range [0,%d)", f.U, n)
+		}
+		if d.Topo.Kind[f.U] != topology.Switch {
+			return fmt.Errorf("fault: vertex %d is not a switch", f.U)
+		}
+	case Host:
+		if f.U < 0 || f.U >= n {
+			return fmt.Errorf("fault: host %d out of range [0,%d)", f.U, n)
+		}
+		if d.Topo.Kind[f.U] != topology.Host {
+			return fmt.Errorf("fault: vertex %d is not a host", f.U)
+		}
+	default:
+		return fmt.Errorf("fault: unknown kind %q (want link, switch, or host)", f.Kind)
+	}
+	return nil
+}
+
+// FaultSet is a normalized set of active faults. The zero value is the
+// empty set (healthy fabric). A FaultSet is a value type: Add/Remove
+// return updated copies, so Views built from earlier sets stay valid.
+type FaultSet struct {
+	set map[Fault]struct{}
+}
+
+// NewFaultSet builds a set from the given faults (normalized,
+// deduplicated).
+func NewFaultSet(faults ...Fault) FaultSet {
+	var fs FaultSet
+	for _, f := range faults {
+		fs = fs.Add(f)
+	}
+	return fs
+}
+
+// Len returns the number of active faults.
+func (fs FaultSet) Len() int { return len(fs.set) }
+
+// Empty reports whether no fault is active.
+func (fs FaultSet) Empty() bool { return len(fs.set) == 0 }
+
+// Contains reports whether f (normalized) is active.
+func (fs FaultSet) Contains(f Fault) bool {
+	_, ok := fs.set[f.normalize()]
+	return ok
+}
+
+// Add returns a copy of the set with f injected.
+func (fs FaultSet) Add(f Fault) FaultSet {
+	out := fs.clone()
+	out.set[f.normalize()] = struct{}{}
+	return out
+}
+
+// Remove returns a copy of the set with f healed (a no-op when f is not
+// active).
+func (fs FaultSet) Remove(f Fault) FaultSet {
+	out := fs.clone()
+	delete(out.set, f.normalize())
+	return out
+}
+
+func (fs FaultSet) clone() FaultSet {
+	set := make(map[Fault]struct{}, len(fs.set)+1)
+	for f := range fs.set {
+		set[f] = struct{}{}
+	}
+	return FaultSet{set: set}
+}
+
+// Faults lists the active faults in a deterministic order (kind, then
+// vertices).
+func (fs FaultSet) Faults() []Fault {
+	out := make([]Fault, 0, len(fs.set))
+	for f := range fs.set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Validate checks every fault in the set against the pristine PPDC.
+func (fs FaultSet) Validate(d *model.PPDC) error {
+	for _, f := range fs.Faults() {
+		if err := f.Validate(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

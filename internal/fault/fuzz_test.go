@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// allFaults enumerates every single fault the fabric admits, in
+// deterministic order.
+func allFaults(d *model.PPDC) []Fault {
+	var out []Fault
+	for _, s := range d.Topo.Switches {
+		out = append(out, Fault{Kind: Switch, U: s})
+	}
+	for _, h := range d.Topo.Hosts {
+		out = append(out, Fault{Kind: Host, U: h})
+	}
+	g := d.Topo.Graph
+	for u := 0; u < g.Order(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				out = append(out, Fault{Kind: Link, U: u, V: e.To})
+			}
+		}
+	}
+	return out
+}
+
+// apspEqual compares two APSP oracles bit-for-bit over all pairs.
+func apspEqual(t *testing.T, d *model.PPDC, a, b *View) {
+	t.Helper()
+	n := d.Topo.Graph.Order()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			x := a.PPDC().APSP.Cost(u, v)
+			y := b.PPDC().APSP.Cost(u, v)
+			if math.Float64bits(x) != math.Float64bits(y) {
+				t.Fatalf("APSP[%d][%d]: %v (%#x) != %v (%#x)",
+					u, v, x, math.Float64bits(x), y, math.Float64bits(y))
+			}
+		}
+	}
+}
+
+// FuzzFaultHealRoundTrip drives a random inject/heal sequence and checks
+// the reconstruction invariants:
+//
+//   - the view of the surviving fault set is identical whether built by
+//     Apply or by the always-reconstruct Rebuild path;
+//   - healing everything reproduces the pristine APSP bit-for-bit
+//     (Rebuild over an empty set vs the model's own matrix);
+//   - reachability and cost agree: a live pair has a finite distance
+//     exactly when it is in one component.
+func FuzzFaultHealRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 4, 6, 3})
+	f.Add([]byte{1, 1, 2, 2, 9, 9, 40, 41, 200, 201})
+	topo := topology.MustFatTree(4, nil)
+	d := model.MustNew(topo, model.Options{})
+	cand := allFaults(d)
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		fs := FaultSet{}
+		for _, b := range ops {
+			if b&1 == 0 {
+				fs = fs.Add(cand[int(b>>1)%len(cand)])
+			} else if fs.Len() > 0 {
+				active := fs.Faults()
+				fs = fs.Remove(active[int(b>>1)%len(active)])
+			}
+		}
+
+		v, err := Apply(d, fs)
+		if err != nil {
+			t.Fatalf("fault set built from candidates must validate: %v", err)
+		}
+		apspEqual(t, d, v, Rebuild(d, fs))
+
+		// Reachability ⇔ finite cost over every pair of live vertices.
+		n := d.Topo.Graph.Order()
+		for u := 0; u < n; u++ {
+			for w := u + 1; w < n; w++ {
+				if v.Dead(u) || v.Dead(w) {
+					continue
+				}
+				finite := !math.IsInf(v.PPDC().APSP.Cost(u, w), 1)
+				if finite != v.Reachable(u, w) {
+					t.Fatalf("pair (%d,%d): finite=%v Reachable=%v", u, w, finite, v.Reachable(u, w))
+				}
+			}
+		}
+
+		// Heal everything: the reconstruction path reproduces the pristine
+		// matrix bit-for-bit, with one connected component and no dead
+		// vertices.
+		healed := Rebuild(d, FaultSet{})
+		pristine, err := Apply(d, FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apspEqual(t, d, healed, pristine)
+		if healed.Components() != 1 {
+			t.Fatalf("healed fabric has %d components", healed.Components())
+		}
+		for u := 0; u < n; u++ {
+			if healed.Dead(u) {
+				t.Fatalf("healed fabric reports vertex %d dead", u)
+			}
+		}
+	})
+}
+
+// TestPlanServicePartitionProperties is the partition-detection property
+// test: across seeded random fault sets, every unserved flow's reason
+// must be independently verifiable, and every served flow must reach
+// every switch of the service region at finite cost.
+func TestPlanServicePartitionProperties(t *testing.T) {
+	topo := topology.MustFatTree(4, nil)
+	d := model.MustNew(topo, model.Options{})
+	cand := allFaults(d)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := FaultSet{}
+		for k := rng.Intn(6); k > 0; k-- {
+			fs = fs.Add(cand[rng.Intn(len(cand))])
+		}
+		v, err := Apply(d, fs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		w := make(model.Workload, 0, 16)
+		hosts := topo.Hosts
+		for k := 0; k < 16; k++ {
+			w = append(w, model.VMPair{
+				Src:  hosts[rng.Intn(len(hosts))],
+				Dst:  hosts[rng.Intn(len(hosts))],
+				Rate: 1 + rng.Float64()*9,
+			})
+		}
+		plan := v.PlanService(w)
+
+		unserved := make(map[int]UnservedReason, len(plan.Unserved))
+		for _, u := range plan.Unserved {
+			unserved[u.Flow] = u.Reason
+		}
+		for i, fl := range w {
+			reason, excluded := unserved[i]
+			if excluded == plan.Servable[i] {
+				t.Fatalf("seed %d flow %d: servable mask and unserved report disagree", seed, i)
+			}
+			switch {
+			case v.Dead(fl.Src) || v.Dead(fl.Dst):
+				if reason != ReasonDeadEndpoint {
+					t.Fatalf("seed %d flow %d: want dead_endpoint, got %q", seed, i, reason)
+				}
+			case v.Component(fl.Src) != v.Component(fl.Dst):
+				if reason != ReasonPartitioned {
+					t.Fatalf("seed %d flow %d: want partitioned, got %q", seed, i, reason)
+				}
+			case plan.Region == -1 || v.Component(fl.Src) != plan.Region:
+				if reason != ReasonOutsideRegion {
+					t.Fatalf("seed %d flow %d: want outside_region, got %q", seed, i, reason)
+				}
+			default:
+				if excluded {
+					t.Fatalf("seed %d flow %d: servable flow excluded as %q", seed, i, reason)
+				}
+			}
+		}
+		// Served flows never see an infinite cost to any region switch.
+		if err := plan.CheckCosts(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The served workload mirrors the mask, in order.
+		if len(plan.Served) != len(plan.ServedIndex) {
+			t.Fatalf("seed %d: served/index length mismatch", seed)
+		}
+		for k, idx := range plan.ServedIndex {
+			if !plan.Servable[idx] || plan.Served[k] != w[idx] {
+				t.Fatalf("seed %d: served[%d] does not match flow %d", seed, k, idx)
+			}
+		}
+	}
+}

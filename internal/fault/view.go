@@ -1,0 +1,324 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"vnfopt/internal/graph"
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// View is an immutable degraded snapshot of a pristine PPDC under one
+// FaultSet: the filtered graph with its rebuilt APSP oracle, the live
+// host/switch membership, and the connected-component labelling used
+// for reachability and partition detection.
+type View struct {
+	pristine *model.PPDC
+	faults   FaultSet
+	degraded *model.PPDC // == pristine when faults is empty
+	dead     []bool      // per-vertex: switch/host explicitly failed
+	comp     []int       // per-vertex component label; -1 for dead vertices
+	ncomp    int
+}
+
+// Apply builds the degraded view of d under fs. An empty fault set
+// short-circuits to the pristine model itself (no rebuild); Rebuild is
+// the always-reconstruct variant the round-trip fuzz uses to prove the
+// reconstruction path is bit-identical.
+func Apply(d *model.PPDC, fs FaultSet) (*View, error) {
+	if err := fs.Validate(d); err != nil {
+		return nil, err
+	}
+	if fs.Empty() {
+		v := &View{pristine: d, faults: fs, degraded: d}
+		v.label(d.Topo.Graph)
+		return v, nil
+	}
+	return Rebuild(d, fs), nil
+}
+
+// Rebuild constructs the degraded view without the empty-set shortcut.
+// The fault set must already be valid for d. Reconstruction is
+// deterministic: the degraded graph preserves the pristine adjacency
+// order of every surviving edge, and the APSP build is the bit-stable
+// parallel kernel, so Rebuild(d, empty) reproduces d's APSP matrix
+// bit-for-bit.
+func Rebuild(d *model.PPDC, fs FaultSet) *View {
+	n := d.Topo.Graph.Order()
+	v := &View{pristine: d, faults: fs}
+	v.dead = make([]bool, n)
+	linkDown := make(map[[2]int]bool)
+	for f := range fs.set {
+		switch f.Kind {
+		case Switch, Host:
+			v.dead[f.U] = true
+		case Link:
+			linkDown[[2]int{f.U, f.V}] = true
+		}
+	}
+	g := d.Topo.Graph.CloneFiltered(func(u, w int, _ float64) bool {
+		if v.dead[u] || v.dead[w] {
+			return false
+		}
+		if u > w {
+			u, w = w, u
+		}
+		return !linkDown[[2]int{u, w}]
+	})
+
+	t := &topology.Topology{
+		Name:   d.Topo.Name + "+faults",
+		Graph:  g,
+		Kind:   d.Topo.Kind,
+		Labels: d.Topo.Labels,
+	}
+	for _, h := range d.Topo.Hosts {
+		if !v.dead[h] {
+			t.Hosts = append(t.Hosts, h)
+		}
+	}
+	for _, s := range d.Topo.Switches {
+		if !v.dead[s] {
+			t.Switches = append(t.Switches, s)
+		}
+	}
+	for _, rack := range d.Topo.Racks {
+		live := make([]int, 0, len(rack))
+		for _, h := range rack {
+			if !v.dead[h] {
+				live = append(live, h)
+			}
+		}
+		t.Racks = append(t.Racks, live)
+	}
+	// The degraded topology deliberately fails Topology.Validate (it may
+	// be disconnected and the membership lists exclude dead vertices), so
+	// the PPDC is assembled directly rather than through model.New.
+	v.degraded = &model.PPDC{Topo: t, APSP: graph.AllPairs(g), Opts: d.Opts}
+	v.label(g)
+	return v
+}
+
+// label computes connected-component labels over the live vertices.
+func (v *View) label(g *graph.Graph) {
+	n := g.Order()
+	v.comp = make([]int, n)
+	for i := range v.comp {
+		v.comp[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if v.comp[s] != -1 || (v.dead != nil && v.dead[s]) {
+			continue
+		}
+		id := v.ncomp
+		v.ncomp++
+		stack = append(stack[:0], s)
+		v.comp[s] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Neighbors(u) {
+				if v.comp[e.To] == -1 {
+					v.comp[e.To] = id
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+}
+
+// Pristine returns the unfaulted model the view derives from.
+func (v *View) Pristine() *model.PPDC { return v.pristine }
+
+// PPDC returns the degraded model: the filtered graph, the live
+// host/switch lists, and the rebuilt APSP. With no active faults it is
+// the pristine model itself.
+func (v *View) PPDC() *model.PPDC { return v.degraded }
+
+// Faults returns the active fault set.
+func (v *View) Faults() FaultSet { return v.faults }
+
+// Degraded reports whether any fault is active.
+func (v *View) Degraded() bool { return !v.faults.Empty() }
+
+// Dead reports whether vertex u was explicitly failed (switch/host
+// fault). Vertices isolated by link faults are alive but unreachable.
+func (v *View) Dead(u int) bool { return v.dead != nil && v.dead[u] }
+
+// Component returns the connected-component label of u (−1 for dead
+// vertices). Two live vertices can reach each other iff their labels
+// match.
+func (v *View) Component(u int) int { return v.comp[u] }
+
+// Components returns the number of live connected components.
+func (v *View) Components() int { return v.ncomp }
+
+// Reachable reports whether two live vertices can still reach each
+// other in the degraded fabric.
+func (v *View) Reachable(u, w int) bool {
+	return v.comp[u] != -1 && v.comp[u] == v.comp[w]
+}
+
+// UnservedReason explains why a flow is excluded from service.
+type UnservedReason string
+
+const (
+	// ReasonDeadEndpoint: the flow's source or destination host failed.
+	ReasonDeadEndpoint UnservedReason = "dead_endpoint"
+	// ReasonPartitioned: the endpoints are alive but in different
+	// connected components.
+	ReasonPartitioned UnservedReason = "partitioned"
+	// ReasonOutsideRegion: the endpoints can reach each other but not the
+	// service region hosting the SFC.
+	ReasonOutsideRegion UnservedReason = "outside_region"
+)
+
+// UnservedFlow is one excluded flow with its reason — the explicit
+// report that replaces an Inf-poisoned cost.
+type UnservedFlow struct {
+	Flow   int            `json:"flow"`
+	Reason UnservedReason `json:"reason"`
+}
+
+// ServicePlan is the outcome of restricting a workload to what a
+// degraded fabric can serve: the serving model (switch candidates
+// limited to the service region), the served workload (excluded flows
+// removed, so no cost ever touches an unreachable pair), a per-flow
+// servable mask, and the report of exclusions.
+type ServicePlan struct {
+	// View is the degraded view the plan was computed from.
+	View *View
+	// PPDC is the serving model: the degraded fabric with Topo.Switches
+	// restricted to the service region. Placement validation against it
+	// rejects dead and out-of-region switches.
+	PPDC *model.PPDC
+	// Region is the component label of the service region (-1 when the
+	// fabric has no live switch at all).
+	Region int
+	// Served is the workload restricted to servable flows, in the
+	// original flow order. ServedIndex[i] is the original flow index of
+	// Served[i].
+	Served      model.Workload
+	ServedIndex []int
+	// Servable[i] reports whether flow i of the input workload is served.
+	Servable []bool
+	// Unserved lists the excluded flows with reasons, ascending by flow.
+	Unserved []UnservedFlow
+}
+
+// PlanService chooses the service region of the degraded fabric and
+// splits w into served and unserved flows.
+//
+// A degraded fabric may be partitioned; a single SFC lives in exactly
+// one connected component, so flows outside that component cannot
+// traverse it without paying an infinite cost. The plan picks the
+// region greedily by traffic: the component (among those containing at
+// least one live switch) whose internal flows carry the most total
+// rate, breaking ties by live host count and then by lowest component
+// label. Every flow with a dead endpoint, with endpoints in different
+// components, or with endpoints outside the chosen region is excluded
+// and reported, never Inf-costed.
+//
+// The choice is made from the rates in w at planning time and stays
+// fixed for the life of the plan; replan after topology events, not
+// rate churn.
+func (v *View) PlanService(w model.Workload) *ServicePlan {
+	d := v.degraded
+	plan := &ServicePlan{View: v, Region: -1, Servable: make([]bool, len(w))}
+
+	// Components eligible to host the SFC: at least one live switch.
+	hasSwitch := make(map[int]bool)
+	for _, s := range d.Topo.Switches {
+		hasSwitch[v.comp[s]] = true
+	}
+	rate := make(map[int]float64) // eligible component -> intra rate
+	hosts := make(map[int]int)    // component -> live host count
+	for _, h := range d.Topo.Hosts {
+		hosts[v.comp[h]]++
+	}
+	for _, f := range w {
+		if v.Dead(f.Src) || v.Dead(f.Dst) {
+			continue
+		}
+		c := v.comp[f.Src]
+		if c == v.comp[f.Dst] && hasSwitch[c] {
+			rate[c] += f.Rate
+		}
+	}
+	best := -1
+	for c := 0; c < v.ncomp; c++ {
+		if !hasSwitch[c] {
+			continue
+		}
+		if best == -1 || rate[c] > rate[best] ||
+			(rate[c] == rate[best] && hosts[c] > hosts[best]) {
+			best = c
+		}
+	}
+	plan.Region = best
+
+	// Serving model: degraded fabric, switches restricted to the region.
+	if best == -1 {
+		plan.PPDC = d
+	} else if v.ncomp == 1 {
+		plan.PPDC = d
+	} else {
+		t := *d.Topo
+		t.Switches = nil
+		for _, s := range d.Topo.Switches {
+			if v.comp[s] == best {
+				t.Switches = append(t.Switches, s)
+			}
+		}
+		plan.PPDC = &model.PPDC{Topo: &t, APSP: d.APSP, Opts: d.Opts}
+	}
+
+	for i, f := range w {
+		switch {
+		case v.Dead(f.Src) || v.Dead(f.Dst):
+			plan.Unserved = append(plan.Unserved, UnservedFlow{Flow: i, Reason: ReasonDeadEndpoint})
+		case v.comp[f.Src] != v.comp[f.Dst]:
+			plan.Unserved = append(plan.Unserved, UnservedFlow{Flow: i, Reason: ReasonPartitioned})
+		case best == -1 || v.comp[f.Src] != best:
+			plan.Unserved = append(plan.Unserved, UnservedFlow{Flow: i, Reason: ReasonOutsideRegion})
+		default:
+			plan.Servable[i] = true
+			plan.ServedIndex = append(plan.ServedIndex, i)
+			plan.Served = append(plan.Served, f)
+		}
+	}
+	return plan
+}
+
+// Feasible reports whether the serving model can host an SFC of length n
+// under the model's per-switch capacity.
+func (p *ServicePlan) Feasible(n int) error {
+	if p.Region == -1 {
+		return fmt.Errorf("fault: no live switch in any component")
+	}
+	d := p.PPDC
+	c := d.SwitchCap()
+	if c > 0 && n > c*len(d.Topo.Switches) {
+		return fmt.Errorf("fault: %d VNFs exceed %d live switches × capacity %d in the service region",
+			n, len(d.Topo.Switches), c)
+	}
+	return nil
+}
+
+// CheckCosts verifies no served flow can see an infinite cost: every
+// served endpoint must reach every switch of the service region. It is
+// an internal-consistency probe used by the chaos harness and property
+// tests, not a hot-path call.
+func (p *ServicePlan) CheckCosts() error {
+	d := p.PPDC
+	for _, f := range p.Served {
+		for _, s := range d.Topo.Switches {
+			if math.IsInf(d.APSP.Cost(f.Src, s), 1) || math.IsInf(d.APSP.Cost(s, f.Dst), 1) {
+				return fmt.Errorf("fault: served flow (%d,%d) cannot reach region switch %d", f.Src, f.Dst, s)
+			}
+		}
+	}
+	return nil
+}

@@ -112,6 +112,32 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CloneFiltered returns a copy of the graph with the same vertex set but
+// only the edges for which keep(u, v, w) is true. The predicate must be
+// symmetric (keep(u,v,w) == keep(v,u,w)); both directions of an
+// undirected edge are filtered with it, and an asymmetric predicate
+// would corrupt the adjacency invariant. Adjacency order of the kept
+// edges is preserved, so rebuilding with an always-true predicate
+// reproduces the original graph exactly — the degraded-fabric views in
+// internal/fault rely on this to make inject/heal round-trips
+// bit-identical.
+func (g *Graph) CloneFiltered(keep func(u, v int, w float64) bool) *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj))}
+	kept := 0
+	for u, es := range g.adj {
+		for _, e := range es {
+			if keep(u, e.To, e.Weight) {
+				c.adj[u] = append(c.adj[u], e)
+				kept++
+			}
+		}
+	}
+	// Every undirected edge stores two directed endpoint records; a
+	// symmetric predicate keeps both or neither.
+	c.m = kept / 2
+	return c
+}
+
 // Dijkstra computes single-source shortest path costs and predecessor
 // links from src. dist[v] == Inf marks unreachable v; prev[src] == -1 and
 // prev of unreachable vertices is -1.
