@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-kernels fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke chaos-smoke
+check: vet fmt build race bench-smoke bench-solver chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,13 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench BenchmarkEngine -benchtime 1x ./internal/engine/
 
+# One-iteration branch-and-bound solver benchmarks plus the
+# parallel-vs-sequential sanity assert: the 8-worker kernel must
+# reproduce the sequential cost bitwise before the benches run
+# (results/BENCH_solver.json records the full numbers).
+bench-solver:
+	$(GO) test -run TestSolverParallelMatchesSequential -bench BenchmarkSolver -benchtime 1x -benchmem .
+
 # Seeded chaos run under the race detector: a deterministic fault
 # schedule (inject + heal) driven through the online engine next to a
 # fault-free reference, checking the resilience invariants every epoch
@@ -42,10 +49,12 @@ chaos-smoke:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Just the performance-kernel benchmarks behind results/BENCH_apsp.json.
+# Just the performance-kernel benchmarks behind results/BENCH_apsp.json
+# and results/BENCH_solver.json.
 bench-kernels:
 	$(GO) test -bench 'BenchmarkAllPairs|BenchmarkDijkstra' -benchmem -run xxx ./internal/graph/
 	$(GO) test -bench 'BenchmarkAPSPFatTree|BenchmarkCommCostAggregated' -benchmem -run xxx .
+	$(GO) test -bench BenchmarkKernel -benchmem -run xxx ./internal/bnb/
 
 # Short fuzz pass over the solver-invariant web and the cost-kernel
 # equivalence property.
@@ -53,3 +62,4 @@ fuzz:
 	$(GO) test -fuzz FuzzCostCacheEquivalence -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzDifferential -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzFaultHealRoundTrip -fuzztime 30s -run xxx ./internal/fault/
+	$(GO) test -fuzz FuzzParallelKernel -fuzztime 30s -run xxx ./internal/differential/

@@ -63,8 +63,19 @@ type ScenarioSpec struct {
 	Flows       int        `json:"flows"`
 	TenantRacks int        `json:"tenant_racks"`
 	Seed        int64      `json:"seed"`
-	// Migrator is "mpareto" (default), "layereddp", or "nomigration".
+	// Migrator is "mpareto" (default), "layereddp", "exhaustive"
+	// (Algorithm 6 seeded with mPareto — exact, small fabrics only), or
+	// "nomigration".
 	Migrator string `json:"migrator"`
+	// NodeBudget caps the exhaustive migrator's search expansions per
+	// consult. 0 picks a safe daemon default (500000); < 0 means
+	// unlimited (the search can then take O(|V|^n) time — lab use only).
+	NodeBudget int `json:"node_budget,omitempty"`
+	// SearchWorkers fans the exact branch-and-bound searches across
+	// goroutines (engine.WithSearchWorkers semantics: 0 = sequential,
+	// > 1 = that many workers, < 0 = GOMAXPROCS). Results are
+	// bit-identical to the sequential search at any width.
+	SearchWorkers int `json:"search_workers,omitempty"`
 	// Policy holds the drift/cooldown/budget knobs.
 	Policy engine.Policy `json:"policy"`
 	// State, when set, resumes a scenario from a saved engine state.
@@ -149,10 +160,19 @@ func buildEngine(spec *ScenarioSpec, reg *obs.Registry, o *engine.Observer) (*en
 		mig = migration.MPareto{}
 	case "layereddp":
 		mig = migration.LayeredDP{}
+	case "exhaustive":
+		budget := spec.NodeBudget
+		switch {
+		case budget == 0:
+			budget = 500_000 // bound a live daemon's consult latency by default
+		case budget < 0:
+			budget = 0 // explicit opt-in to an unlimited search
+		}
+		mig = migration.Exhaustive{NodeBudget: budget, Seed: migration.MPareto{}, Workers: spec.SearchWorkers}
 	case "nomigration":
 		mig = migration.NoMigration{}
 	default:
-		return nil, fmt.Errorf("unknown migrator %q (want mpareto, layereddp, or nomigration)", spec.Migrator)
+		return nil, fmt.Errorf("unknown migrator %q (want mpareto, layereddp, exhaustive, or nomigration)", spec.Migrator)
 	}
 
 	var placer placement.Solver = placement.DP{}
@@ -171,6 +191,11 @@ func buildEngine(spec *ScenarioSpec, reg *obs.Registry, o *engine.Observer) (*en
 		Migrator: mig,
 		Policy:   spec.Policy,
 		Observer: o,
+		// The Exhaustive migrator above already carries Workers (the
+		// instrumentation wrapper hides WorkerTunable from the engine);
+		// SearchWorkers still reaches any WorkerTunable placer/migrator
+		// configured without wrappers.
+		SearchWorkers: spec.SearchWorkers,
 	}
 	if len(spec.State) > 0 {
 		return engine.ResumeJSON(cfg, spec.State)

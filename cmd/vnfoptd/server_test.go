@@ -589,6 +589,36 @@ func TestEventsEndpoint(t *testing.T) {
 }
 
 // TestLeafSpineScenario: the daemon serves non-fat-tree fabrics too.
+// TestExhaustiveMigratorScenario: the daemon accepts the exact
+// Algorithm 6 migrator with a node budget and parallel search workers,
+// reports it under its own (non-colliding) name, and steps normally.
+func TestExhaustiveMigratorScenario(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+	var created struct {
+		ID       string           `json:"id"`
+		Migrator string           `json:"migrator"`
+		Snapshot *engine.Snapshot `json:"snapshot"`
+	}
+	spec := ScenarioSpec{
+		Flows: 10, Seed: 3, SFCLen: 3,
+		Migrator: "exhaustive", NodeBudget: 50_000, SearchWorkers: 2,
+	}
+	if code := do(t, ts, "POST", "/v1/scenarios", spec, &created); code != http.StatusCreated {
+		t.Fatalf("exhaustive create: %d", code)
+	}
+	if created.Migrator != "Exhaustive" {
+		t.Fatalf("migrator name %q, want Exhaustive", created.Migrator)
+	}
+	var res engine.StepResult
+	if code := do(t, ts, "POST", fmt.Sprintf("/v1/scenarios/%s/step", created.ID), nil, &res); code != http.StatusOK {
+		t.Fatal("step failed")
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d", res.Epoch)
+	}
+}
+
 func TestLeafSpineScenario(t *testing.T) {
 	ts := httptest.NewServer(newServer().handler())
 	defer ts.Close()

@@ -4,8 +4,8 @@
 //
 //	TOP:  Optimal ≤ DP ≤ {Steering, Greedy};  Anneal ≤ DP;
 //	      every placement validates (capacity, switch-only).
-//	TOM:  Optimal ≤ {mPareto, LayeredDP, surrogate} ≤ NoMigration;
-//	      LayeredDP's unconstrained bound ≤ Optimal;
+//	TOM:  Exhaustive ≤ {mPareto, LayeredDP, surrogate} ≤ NoMigration;
+//	      LayeredDP's unconstrained bound ≤ Exhaustive;
 //	      every reported C_t matches the model evaluation.
 //	Kernels: the aggregated workload cost cache ≡ the scalar cost oracle
 //	      on every placement any solver produces, across the w1 → w2
@@ -161,13 +161,13 @@ func Run(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, opts Options) (*Re
 	mOpt := migration.Exhaustive{NodeBudget: opts.NodeBudget, Seed: migration.MPareto{}}
 	_, ctOpt, provenM, err := mOpt.MigrateProven(d, w2, sfc, pInit, opts.Mu)
 	if err != nil {
-		return nil, fmt.Errorf("differential: migration Optimal: %w", err)
+		return nil, fmt.Errorf("differential: %s: %w", mOpt.Name(), err)
 	}
-	rep.MigrationCosts["Optimal"] = ctOpt
+	rep.MigrationCosts[mOpt.Name()] = ctOpt
 	rep.OptimalProven = rep.OptimalProven && provenM
 	for name, ct := range rep.MigrationCosts {
 		if ct < ctOpt-tol {
-			return nil, fmt.Errorf("differential: %s C_t %v below Optimal %v", name, ct, ctOpt)
+			return nil, fmt.Errorf("differential: %s C_t %v below Exhaustive %v", name, ct, ctOpt)
 		}
 	}
 	// LayeredDP's unconstrained value lower-bounds the optimum.

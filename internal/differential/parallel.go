@@ -1,0 +1,89 @@
+package differential
+
+import (
+	"fmt"
+
+	"vnfopt/internal/migration"
+	"vnfopt/internal/model"
+	"vnfopt/internal/placement"
+	"vnfopt/internal/stroll"
+)
+
+// RunParallelIdentity cross-checks the parallel branch-and-bound kernel
+// against its sequential oracle on one scenario: placement.Optimal,
+// migration.Exhaustive, and the stroll exhaustive solver are each run
+// sequentially and at the given worker count, and every divergence in
+// (cost, placement/walk, proven) is an error. Costs are compared with
+// == — the parallel kernel accumulates floats in the sequential
+// association order, so completed searches must agree bitwise, not
+// approximately. Searches run unbudgeted (identity is only guaranteed
+// for completed searches), so callers keep instances small.
+func RunParallelIdentity(d *model.PPDC, w1, w2 model.Workload, sfc model.SFC, mu float64, workers int) error {
+	// --- TOP: placement.Optimal ------------------------------------
+	seqP, seqC, seqProven, err := (placement.Optimal{Seed: placement.DP{}}).PlaceProven(d, w1, sfc)
+	if err != nil {
+		return fmt.Errorf("parallel-identity: sequential Optimal: %w", err)
+	}
+	parP, parC, parProven, err := (placement.Optimal{Seed: placement.DP{}, Workers: workers}).PlaceProven(d, w1, sfc)
+	if err != nil {
+		return fmt.Errorf("parallel-identity: Optimal workers=%d: %w", workers, err)
+	}
+	if parC != seqC || parProven != seqProven || !parP.Equal(seqP) {
+		return fmt.Errorf("parallel-identity: Optimal workers=%d diverged: (%v,%v,%v) vs sequential (%v,%v,%v)",
+			workers, parP, parC, parProven, seqP, seqC, seqProven)
+	}
+
+	// --- TOM: migration.Exhaustive ---------------------------------
+	pInit, _, err := (placement.DP{}).Place(d, w1, sfc)
+	if err != nil {
+		return fmt.Errorf("parallel-identity: DP initial: %w", err)
+	}
+	seqM, seqCt, seqProvenM, err := (migration.Exhaustive{Seed: migration.MPareto{}}).MigrateProven(d, w2, sfc, pInit, mu)
+	if err != nil {
+		return fmt.Errorf("parallel-identity: sequential Exhaustive: %w", err)
+	}
+	parM, parCt, parProvenM, err := (migration.Exhaustive{Seed: migration.MPareto{}, Workers: workers}).MigrateProven(d, w2, sfc, pInit, mu)
+	if err != nil {
+		return fmt.Errorf("parallel-identity: Exhaustive workers=%d: %w", workers, err)
+	}
+	if parCt != seqCt || parProvenM != seqProvenM || !parM.Equal(seqM) {
+		return fmt.Errorf("parallel-identity: Exhaustive workers=%d diverged: (%v,%v,%v) vs sequential (%v,%v,%v)",
+			workers, parM, parCt, parProvenM, seqM, seqCt, seqProvenM)
+	}
+
+	// --- stroll: exhaustive n-stroll over the switch closure --------
+	sw := d.Topo.Switches
+	if n := len(sw) - 2; n >= 1 {
+		in := stroll.Instance{
+			Cost: d.APSP.CostMatrix(sw),
+			S:    0,
+			T:    len(sw) - 1,
+			N:    min(sfc.Len(), n),
+		}
+		seqR, err := stroll.Exhaustive(in, stroll.ExhaustiveOptions{})
+		if err != nil {
+			return fmt.Errorf("parallel-identity: sequential stroll: %w", err)
+		}
+		parR, err := stroll.Exhaustive(in, stroll.ExhaustiveOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("parallel-identity: stroll workers=%d: %w", workers, err)
+		}
+		if parR.Cost != seqR.Cost || parR.Optimal != seqR.Optimal || !equalInts(parR.Walk, seqR.Walk) {
+			return fmt.Errorf("parallel-identity: stroll workers=%d diverged: (%v,%v,%v) vs sequential (%v,%v,%v)",
+				workers, parR.Walk, parR.Cost, parR.Optimal, seqR.Walk, seqR.Cost, seqR.Optimal)
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -110,6 +110,13 @@ type Config struct {
 	// Observer, when non-nil, receives metrics and events (see
 	// Observer). Prefer WithObserver.
 	Observer *Observer
+	// SearchWorkers fans the exact branch-and-bound searches (the
+	// Optimal placer and the Exhaustive migrator) out across goroutines
+	// when the configured solver or migrator supports it (implements its
+	// package's WorkerTunable): 0 leaves solvers untouched, > 1 uses
+	// that many workers, < 0 uses GOMAXPROCS. Results stay bit-identical
+	// to the sequential search. Prefer WithSearchWorkers.
+	SearchWorkers int
 }
 
 // RateUpdate is one streaming event: flow Flow's rate is now Rate.
@@ -269,6 +276,17 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	}
 	if cfg.Migrator == nil {
 		cfg.Migrator = migration.MPareto{}
+	}
+	if cfg.SearchWorkers != 0 {
+		// Applied before the Budgeted wrap below so the knob reaches the
+		// inner exact search; wrappers applied by callers beforehand (e.g.
+		// instrumentation) opt out by not implementing WorkerTunable.
+		if wt, ok := cfg.Migrator.(migration.WorkerTunable); ok {
+			cfg.Migrator = wt.WithWorkers(cfg.SearchWorkers)
+		}
+		if wt, ok := cfg.Placer.(placement.WorkerTunable); ok {
+			cfg.Placer = wt.WithWorkers(cfg.SearchWorkers)
+		}
 	}
 	if cfg.Policy.RebuildFraction == 0 {
 		cfg.Policy.RebuildFraction = 0.5

@@ -52,3 +52,14 @@ func WithInitial(p model.Placement) Option {
 func WithObserver(o *Observer) Option {
 	return func(c *Config) { c.Observer = o }
 }
+
+// WithSearchWorkers fans the exact branch-and-bound searches out across
+// n goroutines when the configured placer/migrator supports it (i.e.
+// implements its package's WorkerTunable, as placement.Optimal and
+// migration.Exhaustive do): 0 leaves solvers untouched, > 1 uses that
+// many workers, < 0 uses GOMAXPROCS. Results are bit-identical to the
+// sequential search at any width, so this is purely a latency knob for
+// the consult path.
+func WithSearchWorkers(n int) Option {
+	return func(c *Config) { c.SearchWorkers = n }
+}

@@ -6,6 +6,7 @@ import (
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
 	"vnfopt/internal/obs"
+	"vnfopt/internal/placement"
 )
 
 // TestOptionsOverrideConfig: options are applied after the Config
@@ -50,6 +51,38 @@ func TestWithInitialAdoptsPlacement(t *testing.T) {
 	}
 	if !e.Snapshot().Placement.Equal(p0) {
 		t.Fatalf("initial %v, want adopted %v", e.Snapshot().Placement, p0)
+	}
+}
+
+// TestWithSearchWorkers: the option reaches WorkerTunable solvers on
+// both the migrator and placer sides, and leaves others untouched.
+func TestWithSearchWorkers(t *testing.T) {
+	d, base, _ := fixture(t, 3)
+	e, err := New(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3},
+		WithMigrator(migration.Exhaustive{NodeBudget: 10_000, Seed: migration.MPareto{}}),
+		WithPlacer(placement.Optimal{NodeBudget: 10_000, Seed: placement.DP{}}),
+		WithSearchWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mig.(migration.Exhaustive).Workers; got != 4 {
+		t.Fatalf("migrator workers %d, want 4", got)
+	}
+	if got := e.cfg.Placer.(placement.Optimal).Workers; got != 4 {
+		t.Fatalf("placer workers %d, want 4", got)
+	}
+
+	// A non-tunable migrator passes through unchanged.
+	e2, err := New(Config{PPDC: d, SFC: model.NewSFC(3), Base: base, Mu: 1e3},
+		WithMigrator(migration.NoMigration{}),
+		WithSearchWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.MigratorName(); got != "NoMigration" {
+		t.Fatalf("migrator %q, want NoMigration untouched", got)
 	}
 }
 

@@ -3,15 +3,11 @@ package migration
 import (
 	"context"
 	"math"
-	"sort"
 	"sync/atomic"
 
+	"vnfopt/internal/bnb"
 	"vnfopt/internal/model"
 )
-
-// ctxCheckMask throttles context polls to one ctx.Err() call per
-// ctxCheckMask+1 node expansions.
-const ctxCheckMask = 1023
 
 // searchExpansions accumulates node expansions across every Exhaustive
 // migration search in the process, batched once per Migrate call.
@@ -22,24 +18,42 @@ var searchExpansions atomic.Int64
 func SearchExpansions() int64 { return searchExpansions.Load() }
 
 // Exhaustive is the paper's Algorithm 6: search over all ordered
-// distinct-switch migration targets m for the one minimizing C_t(p, m).
-// As with placement.Optimal, branch-and-bound pruning and an optional node
-// budget make it usable as a small-instance benchmark:
+// distinct-switch migration targets m for the one minimizing C_t(p, m),
+// run on the shared branch-and-bound kernel (internal/bnb). As with
+// placement.Optimal, pruning and an optional node budget make it usable
+// as a small-instance benchmark:
 //
 //	partial(depth j) = Σ_{i≤j} μ·c(p(i), m(i)) + ingress(m(1)) + Λ·chain-so-far
-//	lower bound      = partial + Λ·(edges remaining)·minSwitchDist + minEgress
+//	lower bound      = partial + Λ·(nearestHop + (edges remaining − 1)·minSwitchDist) + minEgress
 //
 // (the migration terms of unplaced VNFs are bounded below by zero).
-// MigrateContext makes unbounded searches cancellable.
+// MigrateContext makes unbounded searches cancellable, and Workers fans
+// the search across goroutines with bit-identical results.
 type Exhaustive struct {
 	// NodeBudget caps search expansions; 0 = unlimited.
 	NodeBudget int
 	// Seed optionally provides an incumbent migrator (e.g. MPareto{}).
+	// When it implements ContextMigrator it is consulted under the same
+	// context as the search.
 	Seed Migrator
+	// Workers fans the branch-and-bound out across goroutines sharing
+	// one incumbent: 0 or 1 is the sequential oracle, > 1 uses that many
+	// workers, < 0 uses GOMAXPROCS. Completed searches are bit-identical
+	// to the sequential oracle at any width.
+	Workers int
 }
 
-// Name implements Migrator.
-func (Exhaustive) Name() string { return "Optimal" }
+// Name implements Migrator. (It once returned "Optimal", colliding with
+// placement.Optimal in metric and benchmark labels.)
+func (Exhaustive) Name() string { return "Exhaustive" }
+
+// WithWorkers returns a copy of the migrator with the parallel fan-out
+// width set; it implements WorkerTunable so the engine can thread its
+// SearchWorkers option through without knowing the concrete type.
+func (a Exhaustive) WithWorkers(n int) Migrator {
+	a.Workers = n
+	return a
+}
 
 // Migrate implements Migrator.
 func (a Exhaustive) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
@@ -48,8 +62,8 @@ func (a Exhaustive) Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p mo
 }
 
 // MigrateContext is Migrate under a context: the search polls ctx every
-// ctxCheckMask+1 expansions and, once cancelled, returns the best
-// incumbent found so far (at worst staying put) together with ctx.Err().
+// 1024 expansions and, once cancelled, returns the best incumbent found
+// so far (at worst staying put) together with ctx.Err().
 func (a Exhaustive) MigrateContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error) {
 	m, c, _, err := a.MigrateProvenContext(ctx, d, w, sfc, p, mu)
 	return m, c, err
@@ -64,7 +78,8 @@ func (a Exhaustive) MigrateProven(d *model.PPDC, w model.Workload, sfc model.SFC
 // MigrateProvenContext is the full form: anytime search with node
 // budget, proven-optimality flag, and cooperative cancellation. On
 // cancellation the incumbent is returned with proven == false and
-// err == ctx.Err().
+// err == ctx.Err(). An already-cancelled context returns before the
+// Seed migrator is consulted.
 func (a Exhaustive) MigrateProvenContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, bool, error) {
 	if err := checkInputs(d, w, sfc, p, mu); err != nil {
 		return nil, 0, false, err
@@ -77,31 +92,24 @@ func (a Exhaustive) MigrateProvenContext(ctx context.Context, d *model.PPDC, w m
 	lambda := w.TotalRate()
 	sw := d.Topo.Switches
 
-	bestCost := math.Inf(1)
 	best := p.Clone() // staying put is always feasible
-	bestCost = d.CommCost(w, p)
+	bestCost := d.CommCost(w, p)
 	if a.Seed != nil {
-		if m, c, err := a.Seed.Migrate(d, w, sfc, p, mu); err == nil && c < bestCost {
+		var m model.Placement
+		var c float64
+		var err error
+		if cm, ok := a.Seed.(ContextMigrator); ok {
+			m, c, err = cm.MigrateContext(ctx, d, w, sfc, p, mu)
+		} else {
+			m, c, err = a.Seed.Migrate(d, w, sfc, p, mu)
+		}
+		if err == nil && c < bestCost {
 			best = m.Clone()
 			bestCost = c
 		}
 	}
 
-	// With colocation allowed (capacity ≠ 1) consecutive VNFs can share a
-	// switch at zero chain cost, so the admissible hop bound is 0.
-	minEdge := 0.0
-	if d.SwitchCap() == 1 {
-		minEdge = math.Inf(1)
-		for i, u := range sw {
-			for j, v := range sw {
-				if i != j {
-					if c := d.APSP.Cost(u, v); c < minEdge {
-						minEdge = c
-					}
-				}
-			}
-		}
-	}
+	hop, minEdge := nearestHopTable(d, sw)
 	minEg := math.Inf(1)
 	for _, s := range sw {
 		if eg[s] < minEg {
@@ -109,75 +117,66 @@ func (a Exhaustive) MigrateProvenContext(ctx context.Context, d *model.PPDC, w m
 		}
 	}
 
-	used := make(map[int]int, n)
-	path := make(model.Placement, 0, n)
-	nodes := 0
-	exhausted := false
-	cancelled := false
-
-	type cand struct {
-		v int
-		c float64
-	}
-
-	var rec func(last int, depth int, cur float64)
-	rec = func(last int, depth int, cur float64) {
-		if exhausted || cancelled {
-			return
-		}
-		nodes++
-		if a.NodeBudget > 0 && nodes > a.NodeBudget {
-			exhausted = true
-			return
-		}
-		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
-			cancelled = true
-			return
-		}
-		if depth == n {
-			total := cur + eg[last]
-			if total < bestCost {
-				bestCost = total
-				best = path.Clone()
-			}
-			return
-		}
-		var children []cand
-		for _, v := range sw {
-			if !d.CapFits(used, v) {
-				continue
-			}
-			step := mu * d.APSP.Cost(p[depth], v)
+	res, err := bnb.Search(ctx, bnb.Spec{
+		N:   n,
+		K:   len(sw),
+		Cap: d.SwitchCap(),
+		StepCost: func(last, v, depth int) float64 {
+			step := mu * d.APSP.Cost(p[depth], sw[v])
 			if depth == 0 {
-				step += in[v]
-			} else {
-				step += lambda * d.APSP.Cost(last, v)
+				return step + in[sw[v]]
 			}
-			children = append(children, cand{v: v, c: step})
+			return step + lambda*d.APSP.Cost(sw[last], sw[v])
+		},
+		TailBound: func(v, depth int) float64 {
+			r := n - 1 - depth
+			if r == 0 {
+				return eg[sw[v]]
+			}
+			return lambda*(hop[v]+float64(r-1)*minEdge) + minEg
+		},
+		LeafCost:   func(last int) float64 { return eg[sw[last]] },
+		SeedCost:   bestCost,
+		NodeBudget: a.NodeBudget,
+		Workers:    a.Workers,
+	})
+	searchExpansions.Add(res.Expansions)
+	if res.Path != nil {
+		best = make(model.Placement, n)
+		for j, v := range res.Path {
+			best[j] = sw[v]
 		}
-		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
-		for _, ch := range children {
-			nc := cur + ch.c
-			remainingEdges := float64(n - depth - 1)
-			lb := nc + lambda*remainingEdges*minEdge + minEg
-			if lb >= bestCost {
-				continue
-			}
-			used[ch.v]++
-			path = append(path, ch.v)
-			rec(ch.v, depth+1, nc)
-			path = path[:len(path)-1]
-			used[ch.v]--
-			if exhausted || cancelled {
-				return
-			}
-		}
+		bestCost = res.Cost
 	}
-	rec(-1, 0, 0)
-	searchExpansions.Add(int64(nodes))
+	if err != nil {
+		return best, bestCost, false, err
+	}
+	return best, bestCost, res.Proven, nil
+}
 
-	if cancelled {
-		return best, bestCost, false, ctx.Err()
+// nearestHopTable returns, per switch (dense index into sw), the cost
+// of its cheapest hop to a distinct switch, plus the global minimum —
+// the admissible chain-edge bounds used by TailBound. With colocation
+// allowed (capacity ≠ 1) both collapse to 0.
+func nearestHopTable(d *model.PPDC, sw []int) ([]float64, float64) {
+	hop := make([]float64, len(sw))
+	if d.SwitchCap() != 1 {
+		return hop, 0
 	}
-	return best, bestCost, !exhausted, nil
+	minEdge := math.Inf(1)
+	for i, u := range sw {
+		h := math.Inf(1)
+		for j, v := range sw {
+			if i != j {
+				if c := d.APSP.Cost(u, v); c < h {
+					h = c
+				}
+			}
+		}
+		hop[i] = h
+		if h < minEdge {
+			minEdge = h
+		}
+	}
+	return hop, minEdge
 }

@@ -6,6 +6,7 @@
 package migration
 
 import (
+	"context"
 	"fmt"
 
 	"vnfopt/internal/model"
@@ -19,6 +20,25 @@ type Migrator interface {
 	Name() string
 	// Migrate returns the target placement m and its total cost C_t(p,m).
 	Migrate(d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error)
+}
+
+// ContextMigrator is a Migrator with a cancellable variant. Exhaustive
+// implements it and consults it on its own Seed, and Repair prefers it
+// for the TOM consult, so cancellation reaches nested searches.
+type ContextMigrator interface {
+	Migrator
+	// MigrateContext is Migrate under a context: on cancellation it
+	// returns the best incumbent found so far together with ctx.Err().
+	MigrateContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error)
+}
+
+// WorkerTunable is implemented by migrators whose exact search can fan
+// out across goroutines (Exhaustive). WithWorkers returns a copy with
+// the width set: 0 or 1 = sequential, > 1 = that many workers, < 0 =
+// GOMAXPROCS. The engine uses it to apply its SearchWorkers option.
+type WorkerTunable interface {
+	Migrator
+	WithWorkers(n int) Migrator
 }
 
 // checkInputs validates the common preconditions of all migrators.

@@ -8,15 +8,6 @@ import (
 	"vnfopt/internal/model"
 )
 
-// ContextMigrator is the optional context-aware form of Migrator (e.g.
-// Exhaustive.MigrateContext): the search polls ctx and returns its best
-// incumbent with ctx.Err() once cancelled. Repair prefers it when the
-// inner migrator provides it.
-type ContextMigrator interface {
-	Migrator
-	MigrateContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC, p model.Placement, mu float64) (model.Placement, float64, error)
-}
-
 // RepairResult reports one placement repair on a degraded fabric.
 type RepairResult struct {
 	// Placement is the repaired placement, valid on the degraded model.

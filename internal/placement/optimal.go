@@ -3,16 +3,11 @@ package placement
 import (
 	"context"
 	"math"
-	"sort"
 	"sync/atomic"
 
+	"vnfopt/internal/bnb"
 	"vnfopt/internal/model"
 )
-
-// ctxCheckMask throttles context polls: the search consults
-// ctx.Err() once every ctxCheckMask+1 node expansions, so cancellation
-// latency is bounded without a per-node branch-predictor cost.
-const ctxCheckMask = 1023
 
 // searchExpansions accumulates branch-and-bound node expansions across
 // every Optimal search in the process, batched once per Place call (one
@@ -25,27 +20,47 @@ var searchExpansions atomic.Int64
 func SearchExpansions() int64 { return searchExpansions.Load() }
 
 // Optimal is the paper's Algorithm 4: exhaustive search over all ordered
-// placements of the n VNFs on distinct switches, here with branch-and-bound
-// pruning so the k=4/k=8 benchmark configurations stay tractable:
+// placements of the n VNFs on distinct switches, run on the shared
+// branch-and-bound kernel (internal/bnb) so the k=4/k=8 benchmark
+// configurations stay tractable:
 //
 //   - partial cost  = ingress[p(1)] + Λ·chain-so-far;
-//   - lower bound   = partial + Λ·(edges remaining)·minSwitchDist + minEgress;
+//   - lower bound   = partial + Λ·(nearestHop[v] + (edges remaining − 1)·minSwitchDist) + minEgress,
+//     where nearestHop[v] is v's cheapest distinct-switch hop — per-switch
+//     tables computed once per search, strictly tighter than the old
+//     single global minSwitchDist;
 //   - children expanded nearest-first.
 //
 // The paper's complexity O(|V|^n) makes Algorithm 4 a small-instance
 // benchmark only; NodeBudget turns it into an anytime search that reports
-// whether optimality was proven, and PlaceContext makes unbounded
-// searches cancellable.
+// whether optimality was proven, PlaceContext makes unbounded searches
+// cancellable, and Workers fans the first search levels across
+// goroutines with results bit-identical to the sequential search.
 type Optimal struct {
 	// NodeBudget caps search expansions; 0 = unlimited.
 	NodeBudget int
 	// Seed optionally provides an incumbent (e.g. the DP solution) so
-	// pruning is effective immediately. Nil means start from +Inf.
+	// pruning is effective immediately. Nil means start from +Inf. When
+	// the seed implements ContextSolver it is consulted under the same
+	// context as the search, so cancellation reaches it too.
 	Seed Solver
+	// Workers fans the branch-and-bound out across goroutines sharing
+	// one incumbent: 0 or 1 is the sequential oracle, > 1 uses that many
+	// workers, < 0 uses GOMAXPROCS. Completed searches are bit-identical
+	// to the sequential oracle at any width.
+	Workers int
 }
 
 // Name implements Solver.
 func (Optimal) Name() string { return "Optimal" }
+
+// WithWorkers returns a copy of the solver with the parallel fan-out
+// width set; it implements WorkerTunable so the engine can thread its
+// SearchWorkers option through without knowing the concrete type.
+func (a Optimal) WithWorkers(n int) Solver {
+	a.Workers = n
+	return a
+}
 
 // Place implements Solver. Callers that need the proven-optimality flag
 // should use PlaceProven; callers that need cancellation, PlaceContext.
@@ -55,9 +70,9 @@ func (a Optimal) Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Pl
 }
 
 // PlaceContext is Place under a context: the search polls ctx every
-// ctxCheckMask+1 node expansions and, once cancelled, stops and returns
-// the best incumbent found so far together with ctx.Err(). The incumbent
-// may be nil when cancellation struck before any complete placement was
+// 1024 node expansions and, once cancelled, stops and returns the best
+// incumbent found so far together with ctx.Err(). The incumbent may be
+// nil when cancellation struck before any complete placement was
 // evaluated and no Seed was configured.
 func (a Optimal) PlaceContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error) {
 	p, c, _, err := a.PlaceProvenContext(ctx, d, w, sfc)
@@ -73,7 +88,8 @@ func (a Optimal) PlaceProven(d *model.PPDC, w model.Workload, sfc model.SFC) (mo
 // PlaceProvenContext is the full form: anytime search with node budget,
 // proven-optimality flag, and cooperative cancellation. On cancellation
 // the incumbent (possibly nil) is returned with proven == false and
-// err == ctx.Err().
+// err == ctx.Err(). An already-cancelled context returns before the
+// Seed solver is consulted.
 func (a Optimal) PlaceProvenContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, bool, error) {
 	if err := checkInputs(d, w, sfc); err != nil {
 		return nil, 0, false, err
@@ -98,28 +114,21 @@ func (a Optimal) PlaceProvenContext(ctx context.Context, d *model.PPDC, w model.
 	bestCost := math.Inf(1)
 	var best model.Placement
 	if a.Seed != nil {
-		if p, c, err := a.Seed.Place(d, w, sfc); err == nil {
+		var p model.Placement
+		var c float64
+		var err error
+		if cs, ok := a.Seed.(ContextSolver); ok {
+			p, c, err = cs.PlaceContext(ctx, d, w, sfc)
+		} else {
+			p, c, err = a.Seed.Place(d, w, sfc)
+		}
+		if err == nil {
 			best = p.Clone()
 			bestCost = c
 		}
 	}
 
-	// minEdge: cheapest possible chain hop, for the admissible lower
-	// bound. With colocation allowed (capacity ≠ 1) consecutive VNFs can
-	// share a switch at zero cost, so the only admissible hop bound is 0.
-	minEdge := 0.0
-	if d.SwitchCap() == 1 {
-		minEdge = math.Inf(1)
-		for i, u := range sw {
-			for j, v := range sw {
-				if i != j {
-					if c := d.APSP.Cost(u, v); c < minEdge {
-						minEdge = c
-					}
-				}
-			}
-		}
-	}
+	hop, minEdge := nearestHopTable(d, sw)
 	minEg := math.Inf(1)
 	for _, s := range sw {
 		if eg[s] < minEg {
@@ -127,78 +136,70 @@ func (a Optimal) PlaceProvenContext(ctx context.Context, d *model.PPDC, w model.
 		}
 	}
 
-	used := make(map[int]int, n)
-	path := make(model.Placement, 0, n)
-	nodes := 0
-	exhaustedBudget := false
-	cancelled := false
-
-	type cand struct {
-		v int
-		c float64
-	}
-
-	var rec func(last int, depth int, cur float64)
-	rec = func(last int, depth int, cur float64) {
-		if exhaustedBudget || cancelled {
-			return
-		}
-		nodes++
-		if a.NodeBudget > 0 && nodes > a.NodeBudget {
-			exhaustedBudget = true
-			return
-		}
-		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
-			cancelled = true
-			return
-		}
-		if depth == n {
-			total := cur + eg[last]
-			if total < bestCost {
-				bestCost = total
-				best = path.Clone()
-			}
-			return
-		}
-		var children []cand
-		for _, v := range sw {
-			if !d.CapFits(used, v) {
-				continue
-			}
-			step := 0.0
+	res, err := bnb.Search(ctx, bnb.Spec{
+		N:   n,
+		K:   len(sw),
+		Cap: d.SwitchCap(),
+		StepCost: func(last, v, depth int) float64 {
 			if depth == 0 {
-				step = in[v] // ingress cost for p(1)
-			} else {
-				step = lambda * d.APSP.Cost(last, v)
+				return in[sw[v]] // ingress cost for p(1)
 			}
-			children = append(children, cand{v: v, c: step})
+			return lambda * d.APSP.Cost(sw[last], sw[v])
+		},
+		TailBound: func(v, depth int) float64 {
+			r := n - 1 - depth
+			if r == 0 {
+				return eg[sw[v]]
+			}
+			return lambda*(hop[v]+float64(r-1)*minEdge) + minEg
+		},
+		LeafCost:   func(last int) float64 { return eg[sw[last]] },
+		SeedCost:   bestCost,
+		NodeBudget: a.NodeBudget,
+		Workers:    a.Workers,
+	})
+	searchExpansions.Add(res.Expansions)
+	if res.Path != nil {
+		best = make(model.Placement, n)
+		for j, v := range res.Path {
+			best[j] = sw[v]
 		}
-		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
-		for _, ch := range children {
-			nc := cur + ch.c
-			remainingEdges := float64(n - depth - 1)
-			lb := nc + lambda*remainingEdges*minEdge + minEg
-			if lb >= bestCost {
-				continue
-			}
-			used[ch.v]++
-			path = append(path, ch.v)
-			rec(ch.v, depth+1, nc)
-			path = path[:len(path)-1]
-			used[ch.v]--
-			if exhaustedBudget || cancelled {
-				return
-			}
-		}
+		bestCost = res.Cost
 	}
-	rec(-1, 0, 0)
-	searchExpansions.Add(int64(nodes))
-
-	if cancelled {
-		return best, bestCost, false, ctx.Err()
+	if err != nil {
+		return best, bestCost, false, err
 	}
 	if best == nil {
 		return nil, 0, false, errNoPlacement(n)
 	}
-	return best, bestCost, !exhaustedBudget, nil
+	return best, bestCost, res.Proven, nil
+}
+
+// nearestHopTable returns, per switch (dense index into sw), the cost of
+// its cheapest hop to a distinct switch, plus the global minimum over
+// those — the admissible bounds on a chain edge leaving a known
+// (respectively unknown) switch. With colocation allowed (capacity ≠ 1)
+// consecutive VNFs can share a switch at zero cost, so both collapse
+// to 0.
+func nearestHopTable(d *model.PPDC, sw []int) ([]float64, float64) {
+	hop := make([]float64, len(sw))
+	if d.SwitchCap() != 1 {
+		return hop, 0
+	}
+	minEdge := math.Inf(1)
+	for i, u := range sw {
+		h := math.Inf(1)
+		for j, v := range sw {
+			if i != j {
+				if c := d.APSP.Cost(u, v); c < h {
+					h = c
+				}
+			}
+		}
+		hop[i] = h
+		if h < minEdge {
+			minEdge = h
+		}
+	}
+	return hop, minEdge
 }

@@ -6,6 +6,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,6 +20,25 @@ type Solver interface {
 	Name() string
 	// Place computes a placement for the SFC.
 	Place(d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error)
+}
+
+// ContextSolver is a Solver with a cancellable variant. Optimal
+// implements it, and consults it on its own Seed so cancellation
+// reaches nested searches.
+type ContextSolver interface {
+	Solver
+	// PlaceContext is Place under a context: on cancellation it returns
+	// the best incumbent found so far together with ctx.Err().
+	PlaceContext(ctx context.Context, d *model.PPDC, w model.Workload, sfc model.SFC) (model.Placement, float64, error)
+}
+
+// WorkerTunable is implemented by solvers whose exact search can fan
+// out across goroutines (Optimal). WithWorkers returns a copy with the
+// width set: 0 or 1 = sequential, > 1 = that many workers, < 0 =
+// GOMAXPROCS. The engine uses it to apply its SearchWorkers option.
+type WorkerTunable interface {
+	Solver
+	WithWorkers(n int) Solver
 }
 
 // checkInputs validates the common preconditions of all solvers.

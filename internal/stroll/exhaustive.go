@@ -3,30 +3,30 @@ package stroll
 import (
 	"context"
 	"math"
-	"sort"
 	"sync/atomic"
+
+	"vnfopt/internal/bnb"
 )
 
 // In the metric closure an optimal n-stroll can always be taken as a
 // *simple path* s → x_1 → … → x_n → t over n distinct intermediates:
 // shortcutting past a repeated vertex never increases cost under the
-// triangle inequality. Exhaustive therefore enumerates ordered n-tuples of
-// intermediates with branch-and-bound:
+// triangle inequality. Exhaustive therefore enumerates ordered n-tuples
+// of intermediates on the shared branch-and-bound kernel (internal/bnb):
 //
 //   - upper bound seeded by the DP solution (Algorithm 2);
-//   - lower bound for a partial path ending at u with k nodes still to
-//     place: cost so far + max( c(u,t), (k+1) · minEdge ), both admissible
-//     in a metric;
+//   - lower bound for a partial path about to extend to v with r more
+//     intermediates after it: cost so far + step +
+//     max( c(v,t), nearestHop(v) + (r−1)·minEdge + minToT ), all terms
+//     admissible in a metric (nearestHop/minEdge/minToT range over
+//     candidate intermediates only);
 //   - children visited cheapest-extension-first to tighten the incumbent
 //     early.
 //
 // NodeBudget caps the search; when exhausted the best incumbent is
 // returned with Optimal=false. ExhaustiveContext adds cooperative
-// cancellation with the same incumbent semantics.
-
-// ctxCheckMask throttles context polls to one ctx.Err() call per
-// ctxCheckMask+1 node expansions.
-const ctxCheckMask = 1023
+// cancellation with the same incumbent semantics, and Workers fans the
+// search across goroutines with bit-identical results.
 
 // searchExpansions accumulates node expansions across every Exhaustive
 // search in the process, batched once per call.
@@ -42,6 +42,11 @@ type ExhaustiveOptions struct {
 	// unlimited. When the budget runs out the incumbent is returned with
 	// Result.Optimal == false.
 	NodeBudget int
+	// Workers fans the branch-and-bound out across goroutines sharing
+	// one incumbent: 0 or 1 is the sequential oracle, > 1 uses that many
+	// workers, < 0 uses GOMAXPROCS. Completed searches are bit-identical
+	// to the sequential oracle at any width.
+	Workers int
 }
 
 // Exhaustive finds a provably optimal n-stroll (paper Algorithms 4/6 use
@@ -51,9 +56,9 @@ func Exhaustive(in Instance, opts ExhaustiveOptions) (Result, error) {
 }
 
 // ExhaustiveContext is Exhaustive under a context: the search polls ctx
-// every ctxCheckMask+1 expansions and, once cancelled, returns the best
-// incumbent found so far (at worst the DP seed) with Optimal == false
-// alongside ctx.Err().
+// every 1024 expansions and, once cancelled, returns the best incumbent
+// found so far (at worst the DP seed) with Optimal == false alongside
+// ctx.Err().
 func ExhaustiveContext(ctx context.Context, in Instance, opts ExhaustiveOptions) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
@@ -82,8 +87,6 @@ func ExhaustiveContext(ctx context.Context, in Instance, opts ExhaustiveOptions)
 		best.Optimal = true
 		return best, nil
 	}
-	bestPath := append([]int(nil), best.Walk...)
-	bestCost := best.Cost
 
 	// Candidate intermediates: everything but the terminals.
 	cands := make([]int, 0, nv-2)
@@ -92,101 +95,79 @@ func ExhaustiveContext(ctx context.Context, in Instance, opts ExhaustiveOptions)
 			cands = append(cands, v)
 		}
 	}
-	// Global minimum positive edge cost among candidate-relevant pairs,
-	// for the (k+1)·minEdge part of the bound. A zero min keeps the bound
-	// valid (just weaker).
-	minEdge := math.Inf(1)
-	for i := 0; i < nv; i++ {
-		for j := 0; j < nv; j++ {
-			if i != j && in.Cost[i][j] < minEdge {
-				minEdge = in.Cost[i][j]
+	// Per-candidate nearest-neighbor and nearest-terminal tables for the
+	// admissible tail bound: hop[i] is i's cheapest edge to another
+	// candidate, minEdge the global minimum over those, minToT the
+	// cheapest closing edge. Zero minima keep the bound valid (weaker).
+	hop := make([]float64, len(cands))
+	minEdge, minToT := math.Inf(1), math.Inf(1)
+	for i, u := range cands {
+		h := math.Inf(1)
+		for j, v := range cands {
+			if i != j && in.Cost[u][v] < h {
+				h = in.Cost[u][v]
 			}
+		}
+		hop[i] = h
+		if h < minEdge {
+			minEdge = h
+		}
+		if c := in.Cost[u][in.T]; c < minToT {
+			minToT = c
 		}
 	}
 
-	used := make([]bool, nv)
-	path := make([]int, 0, in.N+2)
-	path = append(path, in.S)
-	nodes := 0
-	budget := opts.NodeBudget
-	exhausted := false
-	cancelled := false
+	res, err := bnb.Search(ctx, bnb.Spec{
+		N:   in.N,
+		K:   len(cands),
+		Cap: 1,
+		StepCost: func(last, v, depth int) float64 {
+			if depth == 0 {
+				return in.Cost[in.S][cands[v]]
+			}
+			return in.Cost[cands[last]][cands[v]]
+		},
+		TailBound: func(v, depth int) float64 {
+			direct := in.Cost[cands[v]][in.T]
+			r := in.N - 1 - depth
+			if r == 0 {
+				return direct
+			}
+			if lb := hop[v] + float64(r-1)*minEdge + minToT; lb > direct {
+				return lb
+			}
+			return direct
+		},
+		LeafCost:   func(last int) float64 { return in.Cost[cands[last]][in.T] },
+		SeedCost:   best.Cost,
+		NodeBudget: opts.NodeBudget,
+		Workers:    opts.Workers,
+	})
+	searchExpansions.Add(res.Expansions)
 
-	type cand struct {
-		v int
-		c float64
+	bestCost := best.Cost
+	bestPath := append([]int(nil), best.Walk...)
+	if res.Path != nil {
+		bestCost = res.Cost
+		bestPath = make([]int, 0, in.N+2)
+		bestPath = append(bestPath, in.S)
+		for _, v := range res.Path {
+			bestPath = append(bestPath, cands[v])
+		}
+		bestPath = append(bestPath, in.T)
 	}
-	// Pre-allocated per-depth scratch for sorted children.
-	scratch := make([][]cand, in.N+1)
-	for i := range scratch {
-		scratch[i] = make([]cand, 0, len(cands))
-	}
-
-	var rec func(last int, depth int, cur float64)
-	rec = func(last int, depth int, cur float64) {
-		if exhausted || cancelled {
-			return
-		}
-		nodes++
-		if budget > 0 && nodes > budget {
-			exhausted = true
-			return
-		}
-		if nodes&ctxCheckMask == 0 && ctx.Err() != nil {
-			cancelled = true
-			return
-		}
-		if depth == in.N {
-			total := cur + in.Cost[last][in.T]
-			if total < bestCost {
-				bestCost = total
-				bestPath = bestPath[:0]
-				bestPath = append(bestPath, path...)
-				bestPath = append(bestPath, in.T)
-			}
-			return
-		}
-		remaining := in.N - depth
-		children := scratch[depth][:0]
-		for _, v := range cands {
-			if !used[v] {
-				children = append(children, cand{v: v, c: in.Cost[last][v]})
-			}
-		}
-		sort.Slice(children, func(i, j int) bool { return children[i].c < children[j].c })
-		for _, ch := range children {
-			nc := cur + ch.c
-			lb := nc + math.Max(in.Cost[ch.v][in.T], float64(remaining)*minEdge)
-			if lb >= bestCost {
-				// Children are sorted by extension cost, but the t-distance
-				// term differs per child, so keep scanning siblings.
-				continue
-			}
-			used[ch.v] = true
-			path = append(path, ch.v)
-			rec(ch.v, depth+1, nc)
-			path = path[:len(path)-1]
-			used[ch.v] = false
-			if exhausted || cancelled {
-				return
-			}
-		}
-	}
-	rec(in.S, 0, 0)
-	searchExpansions.Add(int64(nodes))
-
 	vis := distinctIntermediates(bestPath, in.S, in.T)
 	if len(vis) > in.N {
 		vis = vis[:in.N]
 	}
-	res := Result{
+	out := Result{
 		Cost:    bestCost,
 		Walk:    bestPath,
 		Visited: vis,
-		Optimal: !exhausted && !cancelled,
+		Optimal: res.Proven && err == nil,
 	}
-	if cancelled {
-		return res, ctx.Err()
+	if err != nil {
+		return out, err
 	}
-	return res, nil
+	return out, nil
 }

@@ -220,6 +220,14 @@ func OptimalPlacementContext(ctx context.Context, d *PPDC, w Workload, sfc SFC, 
 	return placement.Optimal{NodeBudget: nodeBudget, Seed: placement.DP{}}.PlaceContext(ctx, d, w, sfc)
 }
 
+// OptimalPlacementParallel is OptimalPlacement with the branch-and-bound
+// fanned out across `workers` goroutines sharing one incumbent (0 or 1 =
+// sequential, < 0 = GOMAXPROCS). Completed searches return bit-identical
+// results to the sequential solver at any width.
+func OptimalPlacementParallel(nodeBudget, workers int) PlacementSolver {
+	return placement.Optimal{NodeBudget: nodeBudget, Seed: placement.DP{}, Workers: workers}
+}
+
 // SteeringPlacement returns the Steering [55] comparison baseline.
 func SteeringPlacement() PlacementSolver { return placement.Steering{} }
 
@@ -270,6 +278,14 @@ func OptimalMigrationContext(ctx context.Context, d *PPDC, w Workload, sfc SFC, 
 	return migration.Exhaustive{NodeBudget: nodeBudget, Seed: migration.MPareto{}}.MigrateContext(ctx, d, w, sfc, p, mu)
 }
 
+// OptimalMigrationParallel is OptimalMigration with the branch-and-bound
+// fanned out across `workers` goroutines sharing one incumbent (0 or 1 =
+// sequential, < 0 = GOMAXPROCS). Completed searches return bit-identical
+// results to the sequential migrator at any width.
+func OptimalMigrationParallel(nodeBudget, workers int) Migrator {
+	return migration.Exhaustive{NodeBudget: nodeBudget, Seed: migration.MPareto{}, Workers: workers}
+}
+
 // OptimalMigrationSurrogate returns the paper-scale stand-in for
 // Algorithm 6 used at k=16 (refined LayeredDP ∧ refined mPareto; see
 // DESIGN.md substitution #2).
@@ -314,6 +330,14 @@ func SolveStrollDP(in StrollInstance) (StrollResult, error) { return stroll.DP(i
 // unlimited).
 func SolveStrollOptimal(in StrollInstance, nodeBudget int) (StrollResult, error) {
 	return stroll.Exhaustive(in, stroll.ExhaustiveOptions{NodeBudget: nodeBudget})
+}
+
+// SolveStrollOptimalParallel is SolveStrollOptimal with the
+// branch-and-bound fanned out across `workers` goroutines sharing one
+// incumbent (0 or 1 = sequential, < 0 = GOMAXPROCS). Completed searches
+// return bit-identical results at any width.
+func SolveStrollOptimalParallel(in StrollInstance, nodeBudget, workers int) (StrollResult, error) {
+	return stroll.Exhaustive(in, stroll.ExhaustiveOptions{NodeBudget: nodeBudget, Workers: workers})
 }
 
 // SolveStrollOptimalContext is SolveStrollOptimal under a context: once
@@ -421,6 +445,13 @@ func WithEngineInitial(p Placement) EngineOption { return engine.WithInitial(p) 
 
 // WithEngineObserver attaches an observability sink (see NewObserver).
 func WithEngineObserver(o *EngineObserver) EngineOption { return engine.WithObserver(o) }
+
+// WithEngineSearchWorkers fans the exact branch-and-bound searches out
+// across n goroutines when the configured placer/migrator supports it
+// (placement.Optimal, migration.Exhaustive): 0 leaves solvers
+// untouched, > 1 uses that many workers, < 0 uses GOMAXPROCS. Purely a
+// latency knob — completed searches are bit-identical at any width.
+func WithEngineSearchWorkers(n int) EngineOption { return engine.WithSearchWorkers(n) }
 
 // ResumeEngine restores an engine from a durable state snapshot
 // (Engine.MarshalState / vnfoptd GET /v1/scenarios/{id}/state).
