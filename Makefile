@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke bench-solver chaos-smoke
+check: vet fmt build race bench-smoke bench-solver bench-apsp-delta chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,14 @@ bench-smoke:
 bench-solver:
 	$(GO) test -run TestSolverParallelMatchesSequential -bench BenchmarkSolver -benchtime 1x -benchmem .
 
+# Bitwise assert plus one-iteration smoke of the incremental fault-event
+# APSP path against the full rebuild: every event class (link, switch,
+# rack, and the worst-case picks) must produce a view identical to
+# Rebuild before the bench-harness runs once over the -short topologies
+# (results/BENCH_apsp.json records the full numbers).
+bench-apsp-delta:
+	$(GO) test -run TestFaultEventIncrementalMatchesRebuild -bench BenchmarkFaultEvent -benchtime 1x -short ./internal/fault/
+
 # Seeded chaos run under the race detector: a deterministic fault
 # schedule (inject + heal) driven through the online engine next to a
 # fault-free reference, checking the resilience invariants every epoch
@@ -62,4 +70,5 @@ fuzz:
 	$(GO) test -fuzz FuzzCostCacheEquivalence -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzDifferential -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzFaultHealRoundTrip -fuzztime 30s -run xxx ./internal/fault/
+	$(GO) test -fuzz FuzzIncrementalAPSP -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzParallelKernel -fuzztime 30s -run xxx ./internal/differential/

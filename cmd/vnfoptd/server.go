@@ -258,6 +258,15 @@ func newServer() *server {
 		apsp.Observe(elapsed.Seconds())
 		apspVerts.Set(float64(vertices))
 	})
+	// Incremental (fault-transition) APSP updates: wall time per delta
+	// and how many Dijkstra sources the last transition actually re-ran —
+	// the live view of the dirty-source optimisation doing its job.
+	apspDelta := s.reg.Histogram("vnfopt_apsp_delta_seconds")
+	apspDirty := s.reg.Gauge("vnfopt_apsp_dirty_sources")
+	graph.SetAPSPDeltaObserver(func(vertices, dirty, workers int, elapsed time.Duration) {
+		apspDelta.Observe(elapsed.Seconds())
+		apspDirty.Set(float64(dirty))
+	})
 	return s
 }
 

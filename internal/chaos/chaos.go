@@ -253,6 +253,11 @@ func Run(ctx context.Context, cfg Config, sched *Schedule) (*Report, error) {
 	// fault transition from the same inputs the engine used, so the
 	// invariant checks are an independent replay, not a readback.
 	var plan *fault.ServicePlan
+	// prevView chains the harness's own incremental views across events,
+	// exercising repeated ApplyDelta transitions exactly like the engine
+	// does; every transition is differentially checked against the full
+	// rebuild below.
+	var prevView *fault.View
 	for ep := 1; ep <= sched.Epochs; ep++ {
 		if jitter > 0 {
 			var ups []engine.RateUpdate
@@ -282,10 +287,20 @@ func Run(ctx context.Context, cfg Config, sched *Schedule) (*Report, error) {
 				return nil, fmt.Errorf("chaos: epoch %d: schedule marked feasible but engine rejected: %w", ep, err)
 			}
 			fs := fault.NewFaultSet(chaosEng.Faults()...)
-			v, err := fault.Apply(cfg.PPDC, fs)
+			v, err := fault.ApplyDelta(cfg.PPDC, prevView, fs)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: epoch %d: %w", ep, err)
 			}
+			// Standing differential: the incremental view chained across
+			// events must match the from-scratch rebuild bit-for-bit.
+			full, err := fault.Apply(cfg.PPDC, fs)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: epoch %d: %w", ep, err)
+			}
+			if err := fault.Diff(v, full); err != nil {
+				return nil, fmt.Errorf("chaos: epoch %d: incremental view diverged from full rebuild: %w", ep, err)
+			}
+			prevView = v
 			plan = v.PlanService(currentWorkload(cfg.Base, rates))
 			if len(res.Unserved) != len(plan.Unserved) {
 				return nil, fmt.Errorf("chaos: epoch %d: engine reports %d unserved flows, independent replan %d",

@@ -87,7 +87,10 @@ func (e *Engine) ApplyFaults(ctx context.Context, inject, heal []fault.Fault) (*
 	}
 	clear(e.pending)
 
-	view, err := fault.Apply(e.cfg.PPDC, next)
+	// Delta-update from the currently served view (nil when pristine):
+	// only the Dijkstra sources the transition invalidates are re-run,
+	// bit-identical to the full rebuild fault.Apply would do.
+	view, err := fault.ApplyDelta(e.cfg.PPDC, e.view, next)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// Benchmarks for the fault-time repair path: the cost of one topology
+// event (inject or heal) with the incremental dirty-source APSP update
+// versus the full AllPairs rebuild. results/BENCH_apsp.json records the
+// numbers under "fault_events".
+
+var benchModels sync.Map // name -> *model.PPDC
+
+func benchModel(b *testing.B, name string) *model.PPDC {
+	if d, ok := benchModels.Load(name); ok {
+		return d.(*model.PPDC)
+	}
+	var topo *topology.Topology
+	var err error
+	switch name {
+	case "fattree_k8":
+		topo, err = topology.FatTree(8, nil)
+	case "fattree_k16":
+		topo, err = topology.FatTree(16, nil)
+	case "jellyfish_5k":
+		topo, err = topology.Jellyfish(5000, 6, 0, nil, rand.New(rand.NewSource(5)))
+	default:
+		b.Fatalf("unknown bench model %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := model.MustNew(topo, model.Options{})
+	benchModels.Store(name, d)
+	return d
+}
+
+// midRackToR returns the top-of-rack switch of the middle rack — a
+// representative single element. The deterministic low-vertex-ID heap
+// tie-break concentrates shortest-path trees on low-ID core and
+// aggregation links, so the first switch and its first link are
+// near-worst-case elements (their removal dirties almost every source)
+// while a mid-fabric ToR and its highest-ID uplink sit near the median
+// of the dirty-count distribution.
+func midRackToR(d *model.PPDC) int {
+	rack := d.Topo.Racks[len(d.Topo.Racks)/2]
+	return d.Topo.Graph.Neighbors(rack[0])[0].To
+}
+
+// eventFaults builds the fault set of one named event on d. ok=false
+// means the event does not apply to this topology.
+func eventFaults(d *model.PPDC, event string) (FaultSet, bool) {
+	midSwitch := func() int {
+		if len(d.Topo.Racks) > 0 {
+			return midRackToR(d)
+		}
+		return d.Topo.Switches[len(d.Topo.Switches)/2]
+	}
+	switchLink := func(s int, last bool) (FaultSet, bool) {
+		pick := -1
+		for _, e := range d.Topo.Graph.Neighbors(s) {
+			if d.Topo.Kind[e.To] == topology.Switch {
+				pick = e.To
+				if !last {
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			return FaultSet{}, false
+		}
+		return NewFaultSet(Fault{Kind: Link, U: s, V: pick}), true
+	}
+	switch event {
+	case "link":
+		// A representative link: the mid-fabric switch's highest-ID
+		// switch link (a ToR uplink on fat trees).
+		return switchLink(midSwitch(), true)
+	case "link_worst":
+		// The most tree-popular link: the first switch's first link.
+		return switchLink(d.Topo.Switches[0], false)
+	case "switch":
+		return NewFaultSet(Fault{Kind: Switch, U: midSwitch()}), true
+	case "switch_worst":
+		return NewFaultSet(Fault{Kind: Switch, U: d.Topo.Switches[0]}), true
+	case "rack":
+		if len(d.Topo.Racks) == 0 {
+			return FaultSet{}, false
+		}
+		var fs FaultSet
+		rack := d.Topo.Racks[len(d.Topo.Racks)/2]
+		for _, h := range rack {
+			fs = fs.Add(Fault{Kind: Host, U: h})
+		}
+		// The rack's top-of-rack switch fails with it.
+		return fs.Add(Fault{Kind: Switch, U: midRackToR(d)}), true
+	}
+	return FaultSet{}, false
+}
+
+var benchEvents = []string{"link", "switch", "rack", "link_worst", "switch_worst"}
+
+// BenchmarkFaultEvent measures one inject transition from the pristine
+// fabric: the incremental path (ApplyDelta from the pristine view,
+// recomputing only dirty Dijkstra sources) against the full Rebuild.
+func BenchmarkFaultEvent(b *testing.B) {
+	topos := []string{"fattree_k8", "fattree_k16"}
+	if !testing.Short() {
+		topos = append(topos, "jellyfish_5k")
+	}
+	for _, name := range topos {
+		b.Run(name, func(b *testing.B) {
+			d := benchModel(b, name)
+			for _, event := range benchEvents {
+				fs, ok := eventFaults(d, event)
+				if !ok {
+					continue
+				}
+				pristine, err := Apply(d, FaultSet{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(event+"/incremental", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := ApplyDelta(d, pristine, fs); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run(event+"/rebuild", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						Rebuild(d, fs)
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFaultHeal measures the restore direction: from a two-fault
+// degraded view, heal one link (the other fault keeps the view off the
+// empty-set shortcut, so the delta path really runs).
+func BenchmarkFaultHeal(b *testing.B) {
+	for _, name := range []string{"fattree_k8", "fattree_k16"} {
+		b.Run(name, func(b *testing.B) {
+			d := benchModel(b, name)
+			linkSet, ok := eventFaults(d, "link")
+			if !ok {
+				b.Fatal("no link event")
+			}
+			link := linkSet.Faults()[0]
+			other := Fault{Kind: Switch, U: d.Topo.Switches[len(d.Topo.Switches)-1]}
+			both := NewFaultSet(link, other)
+			after := NewFaultSet(other)
+			degraded, err := Apply(d, both)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run("incremental", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ApplyDelta(d, degraded, after); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("rebuild", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Rebuild(d, after)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRebuildSingleLink is the micro-bench for the downed-link set
+// representation on the hot inject path (sorted slice vs the former
+// per-event map): dominated by the APSP build, but the filter predicate
+// runs once per pristine edge endpoint, so the constant shows at k=8.
+func BenchmarkRebuildSingleLink(b *testing.B) {
+	d := benchModel(b, "fattree_k8")
+	fs, _ := eventFaults(d, "link")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rebuild(d, fs)
+	}
+}
+
+// TestFaultEventIncrementalMatchesRebuild is the deterministic assert
+// behind `make bench-apsp-delta`: for every benchmark event on the k=8
+// fat tree, the incremental view must equal the full rebuild bit-for-bit
+// (matrix, dead mask, component labels) — the cheap CI-grade pin of the
+// property the differential fuzz explores at random.
+func TestFaultEventIncrementalMatchesRebuild(t *testing.T) {
+	topo := topology.MustFatTree(8, nil)
+	d := model.MustNew(topo, model.Options{})
+	pristine, err := Apply(d, FaultSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, event := range benchEvents {
+		fs, ok := eventFaults(d, event)
+		if !ok {
+			t.Fatalf("event %q does not apply to fat tree", event)
+		}
+		inc, err := ApplyDelta(d, pristine, fs)
+		if err != nil {
+			t.Fatalf("%s: %v", event, err)
+		}
+		viewEqual(t, d, inc, Rebuild(d, fs))
+		// And the heal back down to one remaining fault.
+		if fs.Len() > 1 {
+			healed := fs.Remove(fs.Faults()[0])
+			incHeal, err := ApplyDelta(d, inc, healed)
+			if err != nil {
+				t.Fatalf("%s heal: %v", event, err)
+			}
+			viewEqual(t, d, incHeal, Rebuild(d, healed))
+		}
+	}
+	// The pristine shortcut itself must match the model's own matrix.
+	n := d.Topo.Graph.Order()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if math.Float64bits(pristine.PPDC().APSP.Cost(u, v)) != math.Float64bits(d.APSP.Cost(u, v)) {
+				t.Fatalf("pristine shortcut diverged at (%d,%d)", u, v)
+			}
+		}
+	}
+}

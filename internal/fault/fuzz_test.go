@@ -117,6 +117,161 @@ func FuzzFaultHealRoundTrip(f *testing.F) {
 	})
 }
 
+// viewEqual compares two views of the same fault set completely: APSP
+// matrix bit-for-bit, dead masks, and component labelling.
+func viewEqual(t *testing.T, d *model.PPDC, a, b *View) {
+	t.Helper()
+	apspEqual(t, d, a, b)
+	n := d.Topo.Graph.Order()
+	if a.Components() != b.Components() {
+		t.Fatalf("components: %d != %d", a.Components(), b.Components())
+	}
+	for u := 0; u < n; u++ {
+		if a.Dead(u) != b.Dead(u) {
+			t.Fatalf("dead[%d]: %v != %v", u, a.Dead(u), b.Dead(u))
+		}
+		if a.Component(u) != b.Component(u) {
+			t.Fatalf("comp[%d]: %d != %d", u, a.Component(u), b.Component(u))
+		}
+	}
+}
+
+// FuzzIncrementalAPSP is the differential fuzz for the incremental APSP
+// layer: a random inject/heal sequence is applied twice — once through
+// the delta path (each view built from the previous view via ApplyDelta,
+// so dirty-source recompute chains across events) and once through the
+// full Rebuild — and every intermediate view must match bit-for-bit:
+// same dist and prev matrices, same dead mask, same component labels.
+func FuzzIncrementalAPSP(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 4, 6, 3})
+	f.Add([]byte{8, 8, 1, 3, 5, 7})
+	f.Add([]byte{1, 1, 2, 2, 9, 9, 40, 41, 200, 201})
+	f.Add([]byte{0, 2, 4, 6, 8, 10, 1, 3, 5, 7, 9, 11})
+	topo := topology.MustFatTree(4, nil)
+	d := model.MustNew(topo, model.Options{})
+	cand := allFaults(d)
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		fs := FaultSet{}
+		prev, err := ApplyDelta(d, nil, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range ops {
+			if b&1 == 0 {
+				fs = fs.Add(cand[int(b>>1)%len(cand)])
+			} else if fs.Len() > 0 {
+				active := fs.Faults()
+				fs = fs.Remove(active[int(b>>1)%len(active)])
+			}
+			inc, err := ApplyDelta(d, prev, fs)
+			if err != nil {
+				t.Fatalf("fault set built from candidates must validate: %v", err)
+			}
+			viewEqual(t, d, inc, Rebuild(d, fs))
+			prev = inc
+		}
+		// Drain the surviving faults one at a time: every heal keeps the
+		// incremental chain pinned to the rebuild, and the empty tail is
+		// the pristine matrix again.
+		for fs.Len() > 0 {
+			fs = fs.Remove(fs.Faults()[0])
+			inc, err := ApplyDelta(d, prev, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viewEqual(t, d, inc, Rebuild(d, fs))
+			prev = inc
+		}
+		apspEqual(t, d, prev, Rebuild(d, FaultSet{}))
+	})
+}
+
+// permute calls fn with every permutation of faults.
+func permute(faults []Fault, fn func([]Fault)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(faults) {
+			fn(faults)
+			return
+		}
+		for i := k; i < len(faults); i++ {
+			faults[k], faults[i] = faults[i], faults[k]
+			rec(k + 1)
+			faults[k], faults[i] = faults[i], faults[k]
+		}
+	}
+	rec(0)
+}
+
+// TestHealOrderPermutationRelabelling splits a linear fabric into three
+// pieces and heals the faults in every possible order, checking after
+// each heal — along the incremental ApplyDelta chain — that a healed
+// vertex rejoins the surviving component exactly as a full Rebuild says
+// it should: identical component labels, dead masks, APSP matrices, and
+// reachability across the re-merged cut.
+func TestHealOrderPermutationRelabelling(t *testing.T) {
+	topo, err := topology.Linear(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.MustNew(topo, model.Options{})
+	// Vertices: host 0, switches 1..6, host 7. Killing switches 2 and 5
+	// plus link {3,4} yields components {0,1}, {3}, {4}, {6,7} with two
+	// dead vertices; each heal order re-merges them along a different
+	// sequence of splits.
+	faults := []Fault{
+		{Kind: Switch, U: 2},
+		{Kind: Switch, U: 5},
+		{Kind: Link, U: 3, V: 4},
+	}
+	full := NewFaultSet(faults...)
+	base, err := Apply(d, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Components() < 3 {
+		t.Fatalf("fault set should split the chain, got %d components", base.Components())
+	}
+
+	permute(faults, func(order []Fault) {
+		fs := full
+		prev := base
+		for _, f := range order {
+			fs = fs.Remove(f)
+			inc, err := ApplyDelta(d, prev, fs)
+			if err != nil {
+				t.Fatalf("heal %s: %v", f, err)
+			}
+			viewEqual(t, d, inc, Rebuild(d, fs))
+			// A healed switch must be alive and share a component with at
+			// least one live neighbor in the filtered fabric.
+			if f.Kind != Link {
+				if inc.Dead(f.U) {
+					t.Fatalf("healed vertex %d still dead", f.U)
+				}
+				joined := false
+				for _, e := range inc.PPDC().Topo.Graph.Neighbors(f.U) {
+					if inc.Reachable(f.U, e.To) {
+						joined = true
+					}
+				}
+				if !joined && inc.PPDC().Topo.Graph.Degree(f.U) > 0 {
+					t.Fatalf("healed vertex %d rejoined no component", f.U)
+				}
+			}
+			prev = inc
+		}
+		if prev.Components() != 1 || prev.Degraded() {
+			t.Fatalf("full heal left %d components (degraded=%v)", prev.Components(), prev.Degraded())
+		}
+	})
+}
+
 // TestPlanServicePartitionProperties is the partition-detection property
 // test: across seeded random fault sets, every unserved flow's reason
 // must be independently verifiable, and every served flow must reach

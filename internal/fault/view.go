@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"vnfopt/internal/graph"
 	"vnfopt/internal/model"
@@ -38,35 +39,62 @@ func Apply(d *model.PPDC, fs FaultSet) (*View, error) {
 	return Rebuild(d, fs), nil
 }
 
-// Rebuild constructs the degraded view without the empty-set shortcut.
-// The fault set must already be valid for d. Reconstruction is
-// deterministic: the degraded graph preserves the pristine adjacency
-// order of every surviving edge, and the APSP build is the bit-stable
-// parallel kernel, so Rebuild(d, empty) reproduces d's APSP matrix
-// bit-for-bit.
-func Rebuild(d *model.PPDC, fs FaultSet) *View {
-	n := d.Topo.Graph.Order()
-	v := &View{pristine: d, faults: fs}
-	v.dead = make([]bool, n)
-	linkDown := make(map[[2]int]bool)
+// linkSet is a small sorted set of undirected links, each stored with
+// endpoints ordered u ≤ v. Fault sets are tiny (typically 1–3 elements),
+// so a sorted slice with a linear probe beats a map on the hot inject
+// path: no hashing, no per-event map allocation, and the filter predicate
+// runs once per pristine edge endpoint.
+type linkSet [][2]int
+
+// has reports whether the (unordered) link {u, w} is in the set.
+func (ls linkSet) has(u, w int) bool {
+	if u > w {
+		u, w = w, u
+	}
+	for _, l := range ls {
+		if l[0] == u && l[1] == w {
+			return true
+		}
+		if l[0] > u {
+			break
+		}
+	}
+	return false
+}
+
+// filter expands the fault set into its per-vertex dead mask and downed
+// link set for an n-vertex fabric.
+func (fs FaultSet) filter(n int) (dead []bool, down linkSet) {
+	dead = make([]bool, n)
 	for f := range fs.set {
 		switch f.Kind {
 		case Switch, Host:
-			v.dead[f.U] = true
+			dead[f.U] = true
 		case Link:
-			linkDown[[2]int{f.U, f.V}] = true
+			down = append(down, [2]int{f.U, f.V})
 		}
 	}
-	g := d.Topo.Graph.CloneFiltered(func(u, w int, _ float64) bool {
-		if v.dead[u] || v.dead[w] {
-			return false
+	sort.Slice(down, func(i, j int) bool {
+		if down[i][0] != down[j][0] {
+			return down[i][0] < down[j][0]
 		}
-		if u > w {
-			u, w = w, u
-		}
-		return !linkDown[[2]int{u, w}]
+		return down[i][1] < down[j][1]
 	})
+	return dead, down
+}
 
+// keep reports whether the pristine edge {u, w} survives the fault set
+// expanded into (dead, down).
+func keepEdge(dead []bool, down linkSet, u, w int) bool {
+	if dead != nil && (dead[u] || dead[w]) {
+		return false
+	}
+	return !down.has(u, w)
+}
+
+// buildView assembles the degraded view's topology and labelling around
+// an already-filtered graph; apsp supplies the view's cost oracle.
+func buildView(v *View, d *model.PPDC, g *graph.Graph, apsp *graph.APSP) *View {
 	t := &topology.Topology{
 		Name:   d.Topo.Name + "+faults",
 		Graph:  g,
@@ -95,9 +123,121 @@ func Rebuild(d *model.PPDC, fs FaultSet) *View {
 	// The degraded topology deliberately fails Topology.Validate (it may
 	// be disconnected and the membership lists exclude dead vertices), so
 	// the PPDC is assembled directly rather than through model.New.
-	v.degraded = &model.PPDC{Topo: t, APSP: graph.AllPairs(g), Opts: d.Opts}
+	v.degraded = &model.PPDC{Topo: t, APSP: apsp, Opts: d.Opts}
 	v.label(g)
 	return v
+}
+
+// Rebuild constructs the degraded view without the empty-set shortcut.
+// The fault set must already be valid for d. Reconstruction is
+// deterministic: the degraded graph preserves the pristine adjacency
+// order of every surviving edge, and the APSP build is the bit-stable
+// parallel kernel, so Rebuild(d, empty) reproduces d's APSP matrix
+// bit-for-bit.
+func Rebuild(d *model.PPDC, fs FaultSet) *View {
+	n := d.Topo.Graph.Order()
+	v := &View{pristine: d, faults: fs}
+	var down linkSet
+	v.dead, down = fs.filter(n)
+	g := d.Topo.Graph.CloneFiltered(func(u, w int, _ float64) bool {
+		return keepEdge(v.dead, down, u, w)
+	})
+	return buildView(v, d, g, graph.AllPairs(g))
+}
+
+// RebuildFrom constructs the degraded view of fs by delta-updating the
+// APSP oracle of a previous view of the same pristine model: only the
+// Dijkstra sources whose cached shortest-path trees are invalidated by
+// the fault transition are re-run (graph.APSP.ApplyDeltas); every other
+// row is carried over verbatim. The result is bit-identical to
+// Rebuild(prev.Pristine(), fs) — the differential fuzz target
+// FuzzIncrementalAPSP pins this over random inject/heal sequences — at a
+// fraction of the cost for the typical 1–3 element transition.
+func RebuildFrom(prev *View, fs FaultSet) *View {
+	d := prev.pristine
+	pg := d.Topo.Graph
+	n := pg.Order()
+	v := &View{pristine: d, faults: fs}
+	var down linkSet
+	v.dead, down = fs.filter(n)
+	oldDead, oldDown := prev.faults.filter(n)
+	g := pg.CloneFiltered(func(u, w int, _ float64) bool {
+		return keepEdge(v.dead, down, u, w)
+	})
+
+	// Edge delta between the two filtered graphs, from one pass over the
+	// pristine edge set (u < v side only; parallel links repeat, which the
+	// dirty tests tolerate).
+	var removed, restored []graph.EdgeRecord
+	for u := 0; u < n; u++ {
+		for _, e := range pg.Neighbors(u) {
+			if u > e.To {
+				continue
+			}
+			ko := keepEdge(oldDead, oldDown, u, e.To)
+			kn := keepEdge(v.dead, down, u, e.To)
+			if ko && !kn {
+				removed = append(removed, graph.EdgeRecord{U: u, V: e.To, Weight: e.Weight})
+			} else if !ko && kn {
+				restored = append(restored, graph.EdgeRecord{U: u, V: e.To, Weight: e.Weight})
+			}
+		}
+	}
+	apsp, _ := prev.degraded.APSP.ApplyDeltas(g, removed, restored, 0)
+	return buildView(v, d, g, apsp)
+}
+
+// ApplyDelta is Apply with an incremental APSP update: when prev is a
+// view of the same pristine model, the new view's oracle reuses every
+// shortest-path tree the fault transition leaves intact instead of
+// re-running all |V| Dijkstra sources. Output is bit-identical to Apply.
+// A nil prev (or a prev of a different model) delta-updates from the
+// pristine matrix itself; an empty fault set short-circuits to the
+// pristine model.
+func ApplyDelta(d *model.PPDC, prev *View, fs FaultSet) (*View, error) {
+	if err := fs.Validate(d); err != nil {
+		return nil, err
+	}
+	if fs.Empty() {
+		v := &View{pristine: d, faults: fs, degraded: d}
+		v.label(d.Topo.Graph)
+		return v, nil
+	}
+	if prev == nil || prev.pristine != d {
+		prev = &View{pristine: d, faults: FaultSet{}, degraded: d}
+	}
+	return RebuildFrom(prev, fs), nil
+}
+
+// Diff reports the first divergence between two views of the same
+// order: the APSP cost matrix compared bitwise, the dead mask, and the
+// component labelling. It returns nil when the views are identical.
+// The chaos harness runs it at every fault transition as a standing
+// differential check of the incremental ApplyDelta path against the
+// full rebuild.
+func Diff(a, b *View) error {
+	n := a.degraded.Topo.Graph.Order()
+	if bn := b.degraded.Topo.Graph.Order(); bn != n {
+		return fmt.Errorf("fault: view order %d != %d", n, bn)
+	}
+	if a.Components() != b.Components() {
+		return fmt.Errorf("fault: component count %d != %d", a.Components(), b.Components())
+	}
+	for u := 0; u < n; u++ {
+		if a.Dead(u) != b.Dead(u) {
+			return fmt.Errorf("fault: dead[%d]: %v != %v", u, a.Dead(u), b.Dead(u))
+		}
+		if a.Component(u) != b.Component(u) {
+			return fmt.Errorf("fault: comp[%d]: %d != %d", u, a.Component(u), b.Component(u))
+		}
+		ra, rb := a.degraded.APSP.Row(u), b.degraded.APSP.Row(u)
+		for v := range ra {
+			if math.Float64bits(ra[v]) != math.Float64bits(rb[v]) {
+				return fmt.Errorf("fault: cost[%d][%d]: %v != %v (bitwise)", u, v, ra[v], rb[v])
+			}
+		}
+	}
+	return nil
 }
 
 // label computes connected-component labels over the live vertices.

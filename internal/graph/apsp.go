@@ -32,10 +32,33 @@ func SetAPSPObserver(fn APSPObserver) {
 // APSP holds an all-pairs shortest path matrix with predecessor links for
 // path reconstruction. It is the c(u,v) oracle of the paper's cost model:
 // every communication and migration cost is a λ- or μ-weighted APSP lookup.
+//
+// Rows are independent slices: a full build lays them over one contiguous
+// row-major buffer, while an incremental ApplyDeltas result shares the
+// unchanged rows of its parent matrix outright. APSP values are therefore
+// immutable once returned — mutating a row would silently corrupt every
+// matrix sharing it.
 type APSP struct {
 	n    int
-	dist []float64 // row-major n*n
-	prev []int32   // prev[u*n+v]: predecessor of v on the shortest u->v path
+	dist [][]float64 // dist[u][v]: shortest-path cost u->v
+	prev [][]int32   // prev[u][v]: predecessor of v on the shortest u->v path
+}
+
+// newAPSP allocates an n-order matrix whose rows tile one contiguous
+// row-major backing buffer per field.
+func newAPSP(n int) *APSP {
+	a := &APSP{
+		n:    n,
+		dist: make([][]float64, n),
+		prev: make([][]int32, n),
+	}
+	db := make([]float64, n*n)
+	pb := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		a.dist[i] = db[i*n : (i+1)*n : (i+1)*n]
+		a.prev[i] = pb[i*n : (i+1)*n : (i+1)*n]
+	}
+	return a
 }
 
 // AllPairs runs Dijkstra from every vertex and caches the results.
@@ -64,16 +87,12 @@ func AllPairsWorkers(g *Graph, workers int) *APSP {
 		start = time.Now()
 	}
 	n := g.Order()
-	a := &APSP{
-		n:    n,
-		dist: make([]float64, n*n),
-		prev: make([]int32, n*n),
-	}
+	a := newAPSP(n)
 	csr := g.Freeze()
 	err := parallel.MapChunked(n, workers, func(lo, hi int) error {
 		var scratch SSSPScratch
 		for src := lo; src < hi; src++ {
-			csr.DijkstraInto(src, a.dist[src*n:(src+1)*n], a.prev[src*n:(src+1)*n], &scratch)
+			csr.DijkstraInto(src, a.dist[src], a.prev[src], &scratch)
 		}
 		return nil
 	})
@@ -94,15 +113,11 @@ func AllPairsWorkers(g *Graph, workers int) *APSP {
 // and as the allocation-behavior baseline for the benchmarks.
 func AllPairsSequential(g *Graph) *APSP {
 	n := g.Order()
-	a := &APSP{
-		n:    n,
-		dist: make([]float64, n*n),
-		prev: make([]int32, n*n),
-	}
+	a := newAPSP(n)
 	for src := 0; src < n; src++ {
 		dist, prev := g.Dijkstra(src)
-		copy(a.dist[src*n:(src+1)*n], dist)
-		row := a.prev[src*n : (src+1)*n]
+		copy(a.dist[src], dist)
+		row := a.prev[src]
 		for v, p := range prev {
 			row[v] = int32(p)
 		}
@@ -114,26 +129,26 @@ func AllPairsSequential(g *Graph) *APSP {
 func (a *APSP) Order() int { return a.n }
 
 // Cost returns the shortest-path cost c(u,v); Inf if unreachable.
-func (a *APSP) Cost(u, v int) float64 { return a.dist[u*a.n+v] }
+func (a *APSP) Cost(u, v int) float64 { return a.dist[u][v] }
 
 // Row returns the contiguous shortest-path cost row from u:
 // Row(u)[v] == Cost(u, v). The slice aliases the cached matrix and must
 // not be mutated; it exists so vectorized sweeps (e.g. the aggregated
 // workload cost cache) can stream one row without per-element index
 // arithmetic.
-func (a *APSP) Row(u int) []float64 { return a.dist[u*a.n : (u+1)*a.n] }
+func (a *APSP) Row(u int) []float64 { return a.dist[u] }
 
 // Reachable reports whether v is reachable from u.
-func (a *APSP) Reachable(u, v int) bool { return !math.IsInf(a.dist[u*a.n+v], 1) }
+func (a *APSP) Reachable(u, v int) bool { return !math.IsInf(a.dist[u][v], 1) }
 
 // Path reconstructs a shortest u-v vertex sequence (inclusive). It returns
 // nil when v is unreachable from u.
 func (a *APSP) Path(u, v int) []int {
-	if math.IsInf(a.dist[u*a.n+v], 1) {
+	if math.IsInf(a.dist[u][v], 1) {
 		return nil
 	}
 	var rev []int
-	row := a.prev[u*a.n : (u+1)*a.n]
+	row := a.prev[u]
 	for x := v; x != -1; x = int(row[x]) {
 		rev = append(rev, x)
 	}
@@ -145,22 +160,29 @@ func (a *APSP) Path(u, v int) []int {
 
 // Hops returns the number of edges on the reconstructed shortest u-v path
 // (0 for u==v, -1 if unreachable). Note this counts edges of the cached
-// min-cost path, not the min-hop path.
+// min-cost path, not the min-hop path. It walks the prev links directly
+// rather than materializing the path, so it never allocates.
 func (a *APSP) Hops(u, v int) int {
-	p := a.Path(u, v)
-	if p == nil {
+	if math.IsInf(a.dist[u][v], 1) {
 		return -1
 	}
-	return len(p) - 1
+	row := a.prev[u]
+	h := -1
+	for x := int32(v); x != -1; x = row[x] {
+		h++
+	}
+	return h
 }
 
 // Diameter returns the greatest finite pairwise cost, i.e. the diameter D
 // used in the paper's complexity bound for Algo. 5.
 func (a *APSP) Diameter() float64 {
 	d := 0.0
-	for _, c := range a.dist {
-		if !math.IsInf(c, 1) && c > d {
-			d = c
+	for _, row := range a.dist {
+		for _, c := range row {
+			if !math.IsInf(c, 1) && c > d {
+				d = c
+			}
 		}
 	}
 	return d
@@ -190,12 +212,19 @@ func (a *APSP) MetricClosure(keep []int) (*Graph, []int) {
 // CostMatrix exposes a dense submatrix of shortest-path costs over the
 // given vertices: out[i][j] = c(keep[i], keep[j]). Solvers that index the
 // closure heavily use this rather than adjacency lists.
+// The rows alias one contiguous row-major buffer (two allocations total,
+// like the dist matrix itself), so solvers streaming the closure stay
+// cache-local and the build cost no longer scales allocations with the
+// submatrix order.
 func (a *APSP) CostMatrix(keep []int) [][]float64 {
-	out := make([][]float64, len(keep))
+	k := len(keep)
+	out := make([][]float64, k)
+	buf := make([]float64, k*k)
 	for i, u := range keep {
-		row := make([]float64, len(keep))
+		row := buf[i*k : (i+1)*k]
+		src := a.dist[u]
 		for j, v := range keep {
-			row[j] = a.Cost(u, v)
+			row[j] = src[v]
 		}
 		out[i] = row
 	}

@@ -89,14 +89,16 @@ func TestAllPairsParallelBitIdentical(t *testing.T) {
 			if got.n != want.n {
 				t.Fatalf("order mismatch %d vs %d", got.n, want.n)
 			}
-			for i := range want.dist {
-				if got.dist[i] != want.dist[i] {
-					t.Fatalf("trial %d workers %d: dist[%d] = %v, oracle %v",
-						trial, workers, i, got.dist[i], want.dist[i])
-				}
-				if got.prev[i] != want.prev[i] {
-					t.Fatalf("trial %d workers %d: prev[%d] = %d, oracle %d",
-						trial, workers, i, got.prev[i], want.prev[i])
+			for s := range want.dist {
+				for v := range want.dist[s] {
+					if got.dist[s][v] != want.dist[s][v] {
+						t.Fatalf("trial %d workers %d: dist[%d][%d] = %v, oracle %v",
+							trial, workers, s, v, got.dist[s][v], want.dist[s][v])
+					}
+					if got.prev[s][v] != want.prev[s][v] {
+						t.Fatalf("trial %d workers %d: prev[%d][%d] = %d, oracle %d",
+							trial, workers, s, v, got.prev[s][v], want.prev[s][v])
+					}
 				}
 			}
 		}

@@ -1,0 +1,360 @@
+package graph
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"vnfopt/internal/parallel"
+)
+
+// APSPDeltaObserver receives the outcome of one incremental APSP update:
+// the matrix order, the number of dirty sources actually re-run, the
+// worker count, and the wall time. Like APSPObserver it is a process-wide
+// hook so the graph package stays free of observability dependencies.
+type APSPDeltaObserver func(vertices, dirty, workers int, elapsed time.Duration)
+
+var apspDeltaObserver atomic.Pointer[APSPDeltaObserver]
+
+// SetAPSPDeltaObserver installs (or, with nil, removes) the process-wide
+// incremental-APSP observer. Safe to call concurrently with updates.
+func SetAPSPDeltaObserver(fn APSPDeltaObserver) {
+	if fn == nil {
+		apspDeltaObserver.Store(nil)
+		return
+	}
+	apspDeltaObserver.Store(&fn)
+}
+
+// deltaPlan classifies one edge delta against the old filtered graph.
+// All index slices are over the vertex set of the (unchanged) vertex IDs.
+type deltaPlan struct {
+	// isolated[x]: every old edge of x was removed, so x has degree zero
+	// in the new graph. Clean rows handle these by patching column x to
+	// unreachable instead of re-running Dijkstra.
+	isolated []bool
+	isoList  []int32
+	// pendant[v] >= 0: v was isolated in the old graph and the delta
+	// restores exactly one edge {pendant[v], v}; clean rows patch column
+	// v to dist(s, pendant[v]) + pendantW[v] instead of recomputing.
+	pendant  []int32
+	pendantW []float64
+	pendList []int32
+	// links are the removed edges with neither endpoint isolated: the
+	// classic dirty test (is it a tree edge of s?) applies.
+	links []EdgeRecord
+	// grown are the restored edges with no pendant endpoint: the
+	// distance/tie test applies.
+	grown []EdgeRecord
+	// childCand lists the only columns whose predecessor can be an
+	// isolated vertex: the surviving old neighbors of the isolated set.
+	// prev[c] == x requires edge {x,c}, and every old edge of an
+	// isolated x is in the removed list, so scanning these columns is
+	// equivalent to scanning all n.
+	childCand []int32
+	// forced rows always recompute: isolated and pendant vertices' own
+	// rows (their Dijkstra traces change shape or float association).
+	forced []int32
+}
+
+// planDeltas splits the raw removed/restored lists into the patchable
+// and generic cases. Old degrees are reconstructed from the new graph
+// plus the delta, so callers never need to retain the old filtered graph.
+func planDeltas(next *Graph, removed, restored []EdgeRecord) *deltaPlan {
+	n := next.Order()
+	p := &deltaPlan{
+		isolated: make([]bool, n),
+		pendant:  make([]int32, n),
+	}
+	for i := range p.pendant {
+		p.pendant[i] = -1
+	}
+	removedAt := make([]int32, n)
+	restoredAt := make([]int32, n)
+	for _, e := range removed {
+		removedAt[e.U]++
+		removedAt[e.V]++
+	}
+	for _, e := range restored {
+		restoredAt[e.U]++
+		restoredAt[e.V]++
+	}
+	for x := 0; x < n; x++ {
+		if removedAt[x] > 0 && next.Degree(x) == 0 {
+			p.isolated[x] = true
+			p.isoList = append(p.isoList, int32(x))
+			p.forced = append(p.forced, int32(x))
+		}
+	}
+	p.pendantW = make([]float64, n)
+	for _, e := range restored {
+		for _, side := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+			v, u := side[0], side[1]
+			// v gains its single edge back and had none before: a pendant
+			// attachment whose column is an exact one-hop patch.
+			if restoredAt[v] == 1 && removedAt[v] == 0 && next.Degree(v) == 1 {
+				p.pendant[v] = int32(u)
+				p.pendantW[v] = e.Weight
+				p.pendList = append(p.pendList, int32(v))
+				p.forced = append(p.forced, int32(v))
+			}
+		}
+	}
+	var seenCand []bool
+	for _, e := range removed {
+		if !p.isolated[e.U] && !p.isolated[e.V] {
+			p.links = append(p.links, e)
+			continue
+		}
+		if len(seenCand) == 0 {
+			seenCand = make([]bool, n)
+		}
+		for _, c := range [2]int{e.U, e.V} {
+			if !p.isolated[c] && !seenCand[c] {
+				seenCand[c] = true
+				p.childCand = append(p.childCand, int32(c))
+			}
+		}
+	}
+	for _, e := range restored {
+		if p.pendant[e.U] < 0 && p.pendant[e.V] < 0 {
+			p.grown = append(p.grown, e)
+		}
+	}
+	return p
+}
+
+// rowDirty reports whether source s's cached row can survive the delta.
+// It inspects only s's old dist/prev rows; see ApplyDeltas for the
+// correctness argument of each test.
+func (p *deltaPlan) rowDirty(s int, dist []float64, prev []int32) bool {
+	// A removed edge invalidates s exactly when it is a tree edge: the
+	// prev row references it, so the rebuilt row cannot be identical. A
+	// removed non-tree edge never decides a settlement (its relaxations
+	// were no-ops or were overwritten), and with the heap's total order
+	// the stale entries it leaves behind cannot reorder equal-cost pops.
+	for _, e := range p.links {
+		if int(prev[e.V]) == e.U || int(prev[e.U]) == e.V {
+			return true
+		}
+	}
+	// A group of vertices losing every edge invalidates s only if one of
+	// them routed s's tree onward to a surviving vertex: then that
+	// subtree must re-route (or become unreachable by another path).
+	// Otherwise the group members are leaves of s's tree and their
+	// columns patch to unreachable. Only the isolated set's surviving
+	// old neighbors can have such a predecessor, so only they are
+	// checked.
+	for _, c := range p.childCand {
+		if x := prev[c]; x >= 0 && p.isolated[x] {
+			return true
+		}
+	}
+	// A restored edge {u,v} invalidates s when it strictly shortens a
+	// distance, or creates an equal-cost alternative that wins the
+	// deterministic tie-break: the first settlement among equal costs
+	// comes from the predecessor popped earliest in (cost, vertex) order,
+	// so the incumbent prev[v] loses exactly when (d(u), u) precedes
+	// (d(prev[v]), prev[v]).
+	for _, e := range p.grown {
+		du, dv := dist[e.U], dist[e.V]
+		uInf, vInf := math.IsInf(du, 1), math.IsInf(dv, 1)
+		if uInf && vInf {
+			// An edge between two vertices s cannot reach creates no
+			// s-path: any path from s to either endpoint would have to
+			// reach one of them without the new edge first.
+			continue
+		}
+		if !uInf {
+			if t := du + e.Weight; t < dv {
+				return true
+			} else if t == dv && tieFlips(dist, prev, e.U, e.V) {
+				return true
+			}
+		}
+		if !vInf {
+			if t := dv + e.Weight; t < du {
+				return true
+			} else if t == du && tieFlips(dist, prev, e.V, e.U) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tieFlips reports whether new equal-cost predecessor u would replace
+// v's incumbent predecessor under the heap's (cost, vertex) total order.
+func tieFlips(dist []float64, prev []int32, u, v int) bool {
+	p := prev[v]
+	if p < 0 {
+		// v is the source itself: relaxations into the source never win
+		// (its distance 0 cannot strictly improve).
+		return false
+	}
+	du, dp := dist[u], dist[int(p)]
+	return du < dp || (du == dp && int32(u) < p)
+}
+
+// patchChanges reports whether the column patches would alter this clean
+// row at all. Rows they cannot touch (every isolated column already
+// unreachable, every pendant attachment unreachable) are shared with the
+// parent matrix instead of being copied.
+func (p *deltaPlan) patchChanges(dist []float64) bool {
+	for _, x := range p.isoList {
+		if !math.IsInf(dist[x], 1) {
+			return true
+		}
+	}
+	for _, v := range p.pendList {
+		if !math.IsInf(dist[p.pendant[v]], 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// patchRow applies the column patches to a copied clean row: isolated
+// vertices become unreachable, pendant revivals attach at exactly
+// dist(s, neighbor) + w — the same float expression the full Dijkstra
+// would evaluate, hence bit-identical. The row already holds the parent
+// values, so the attachment distance is read in place.
+func (p *deltaPlan) patchRow(dist []float64, prev []int32) {
+	for _, x := range p.isoList {
+		dist[x] = Inf
+		prev[x] = -1
+	}
+	for _, v := range p.pendList {
+		u := p.pendant[v]
+		if du := dist[u]; !math.IsInf(du, 1) {
+			dist[v] = du + p.pendantW[v]
+			prev[v] = u
+		} else {
+			dist[v] = Inf
+			prev[v] = -1
+		}
+	}
+}
+
+// ApplyDeltas builds the APSP matrix of `next` incrementally from the
+// cached matrix of the graph next was derived from. The caller supplies
+// the edge delta between the two graphs: `removed` lists edges present
+// in the old graph but absent from next, `restored` lists edges absent
+// from the old graph but present in next (with their weights in next).
+// Vertex failures and revivals are expressed through their incident
+// edges; the vertex set itself never changes.
+//
+// The receiver is never mutated: untouched rows are shared with the
+// receiver (both matrices are immutable), rows with a provably-exact
+// column fix are cloned and patched, and only the dirty sources re-run
+// the zero-alloc CSR Dijkstra kernel into fresh storage, fanned over
+// `workers` goroutines exactly like AllPairsWorkers (workers ≤ 0 =
+// GOMAXPROCS). The result is bit-identical to AllPairs(next) at any
+// worker count — FuzzIncrementalAPSP in internal/fault and
+// TestApplyDeltasRandomSequence pin this differentially. It returns the
+// new matrix and the number of rows recomputed.
+//
+// Dirty-source rule. Dijkstra from s over the frozen adjacency order
+// with the heap's strict (cost, vertex) total order is a deterministic
+// trace; a source stays clean exactly when the delta provably cannot
+// change that trace's output:
+//
+//   - removed edge, neither endpoint isolated: dirty iff it is a tree
+//     edge of s (prev[v]==u or prev[u]==v). Non-tree removed edges only
+//     ever contributed relaxations that lost — immediately or after
+//     being overwritten — and the total-order heap makes the leftover
+//     stale entries unable to reorder the effective settlements.
+//   - vertices losing all incident edges: dirty iff one of them has a
+//     tree child outside the group; otherwise they are leaves of s's
+//     tree and their columns patch to Inf/-1.
+//   - restored edge, no pendant endpoint: dirty iff it strictly improves
+//     one endpoint's distance from the other, or ties it and would win
+//     the (cost, vertex) tie-break against the incumbent predecessor.
+//   - restored pendant attachment (vertex regains its single edge):
+//     clean rows patch the column to dist(s,u)+w, the exact expression
+//     the full run evaluates; the pendant's own row is recomputed since
+//     its trace accumulates sums in a different association order.
+func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers int) (*APSP, int) {
+	n := a.n
+	if next.Order() != n {
+		panic("graph: ApplyDeltas vertex count mismatch")
+	}
+	obs := apspDeltaObserver.Load()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+
+	out := &APSP{
+		n:    n,
+		dist: make([][]float64, n),
+		prev: make([][]int32, n),
+	}
+
+	plan := planDeltas(next, removed, restored)
+	dirty := make([]bool, n)
+	for _, s := range plan.forced {
+		dirty[s] = true
+	}
+	// Classify every row in parallel: each worker owns a contiguous row
+	// range, reads only the old matrix, and writes only its own rows of
+	// the new one, so the outcome is independent of the worker count.
+	// A clean row the patches cannot touch is shared with the parent
+	// matrix outright; a patched row is append-cloned (the runtime skips
+	// zeroing pointer-free backing arrays on that path) so the parent
+	// stays immutable. Dirty rows get fresh storage in the Dijkstra pass.
+	if err := parallel.MapChunked(n, workers, func(lo, hi int) error {
+		for s := lo; s < hi; s++ {
+			if dirty[s] {
+				continue
+			}
+			distRow, prevRow := a.dist[s], a.prev[s]
+			if plan.rowDirty(s, distRow, prevRow) {
+				dirty[s] = true
+				continue
+			}
+			if plan.patchChanges(distRow) {
+				nd := append([]float64(nil), distRow...)
+				np := append([]int32(nil), prevRow...)
+				plan.patchRow(nd, np)
+				out.dist[s], out.prev[s] = nd, np
+			} else {
+				out.dist[s], out.prev[s] = distRow, prevRow
+			}
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	rows := make([]int, 0, len(plan.forced))
+	for s, d := range dirty {
+		if d {
+			rows = append(rows, s)
+		}
+	}
+	if len(rows) > 0 {
+		csr := next.Freeze()
+		db := make([]float64, len(rows)*n)
+		pb := make([]int32, len(rows)*n)
+		if err := parallel.MapChunked(len(rows), workers, func(lo, hi int) error {
+			var scratch SSSPScratch
+			for i := lo; i < hi; i++ {
+				src := rows[i]
+				nd := db[i*n : (i+1)*n : (i+1)*n]
+				np := pb[i*n : (i+1)*n : (i+1)*n]
+				csr.DijkstraInto(src, nd, np, &scratch)
+				out.dist[src], out.prev[src] = nd, np
+			}
+			return nil
+		}); err != nil {
+			// DijkstraInto cannot fail on a valid Graph; a surfaced panic
+			// is a kernel bug and must not be swallowed.
+			panic(err)
+		}
+	}
+	if obs != nil {
+		(*obs)(n, len(rows), workers, time.Since(start))
+	}
+	return out, len(rows)
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// apspBitEqual fails unless a and b are bit-identical over dist and prev.
+func apspBitEqual(t *testing.T, a, b *APSP) {
+	t.Helper()
+	if a.n != b.n {
+		t.Fatalf("order %d != %d", a.n, b.n)
+	}
+	for s := range a.dist {
+		for v := range a.dist[s] {
+			if math.Float64bits(a.dist[s][v]) != math.Float64bits(b.dist[s][v]) {
+				t.Fatalf("dist[%d][%d]: %v (%#x) != %v (%#x)",
+					s, v, a.dist[s][v], math.Float64bits(a.dist[s][v]), b.dist[s][v], math.Float64bits(b.dist[s][v]))
+			}
+			if a.prev[s][v] != b.prev[s][v] {
+				t.Fatalf("prev[%d][%d]: %d != %d", s, v, a.prev[s][v], b.prev[s][v])
+			}
+		}
+	}
+}
+
+// filterEdges splits g's edges by a down-set and returns the filtered
+// graph plus the removed records.
+func filterEdges(g *Graph, down map[[2]int]bool) *Graph {
+	return g.CloneFiltered(func(u, v int, _ float64) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return !down[[2]int{u, v}]
+	})
+}
+
+// TestApplyDeltasRandomSequence drives random fail/restore sequences over
+// random connected graphs and pins ApplyDeltas bit-for-bit against a full
+// AllPairs rebuild of the filtered graph, at several worker counts.
+func TestApplyDeltasRandomSequence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(24)
+		g := randomConnectedGraph(rng, n, n)
+		edges := g.Edges()
+		down := map[[2]int]bool{}
+		cur := AllPairs(g)
+		for step := 0; step < 8; step++ {
+			var removed, restored []EdgeRecord
+			for _, e := range edges {
+				key := [2]int{e.U, e.V}
+				switch {
+				case !down[key] && rng.Intn(6) == 0:
+					down[key] = true
+					removed = append(removed, e)
+				case down[key] && rng.Intn(3) == 0:
+					delete(down, key)
+					restored = append(restored, e)
+				}
+			}
+			next := filterEdges(g, down)
+			workers := []int{1, 2, 5, 0}[step%4]
+			inc, dirty := cur.ApplyDeltas(next, removed, restored, workers)
+			full := AllPairs(next)
+			apspBitEqual(t, inc, full)
+			if dirty < 0 || dirty > n {
+				t.Fatalf("seed %d step %d: dirty=%d out of range", seed, step, dirty)
+			}
+			cur = inc
+		}
+	}
+}
+
+// TestApplyDeltasEmptyDelta checks that a no-op delta recomputes zero
+// rows and shares every row with the (immutable) receiver rather than
+// copying the matrix.
+func TestApplyDeltasEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 20, 25)
+	a := AllPairs(g)
+	b, dirty := a.ApplyDeltas(g, nil, nil, 0)
+	if dirty != 0 {
+		t.Fatalf("no-op delta recomputed %d rows", dirty)
+	}
+	apspBitEqual(t, a, b)
+	for s := range a.dist {
+		if &a.dist[s][0] != &b.dist[s][0] || &a.prev[s][0] != &b.prev[s][0] {
+			t.Fatalf("no-op delta copied row %d instead of sharing it", s)
+		}
+	}
+}
+
+// TestApplyDeltasDisconnects checks a deletion that splits the graph and
+// the restoration that heals it, including the Inf bookkeeping.
+func TestApplyDeltasDisconnects(t *testing.T) {
+	// 0-1-2   3-4-5 joined by bridge 2-3.
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	a := AllPairs(g)
+	bridge := []EdgeRecord{{U: 2, V: 3, Weight: 1}}
+	down := map[[2]int]bool{{2, 3}: true}
+	cut := filterEdges(g, down)
+	b, dirty := a.ApplyDeltas(cut, bridge, nil, 1)
+	apspBitEqual(t, b, AllPairs(cut))
+	if dirty != 6 {
+		// Every source's tree crosses the bridge.
+		t.Fatalf("bridge cut dirtied %d sources, want 6", dirty)
+	}
+	if !math.IsInf(b.Cost(0, 5), 1) {
+		t.Fatalf("cut bridge still reports cost %v", b.Cost(0, 5))
+	}
+	c, dirty := b.ApplyDeltas(g, nil, bridge, 1)
+	apspBitEqual(t, c, a)
+	if dirty != 6 {
+		t.Fatalf("bridge heal dirtied %d sources, want 6", dirty)
+	}
+}
+
+// TestApplyDeltasSparseDirtySet: removing an edge that only provides an
+// equal-cost alternate route must not dirty sources whose trees picked
+// the other route.
+func TestApplyDeltasSparseDirtySet(t *testing.T) {
+	// Diamond 0-1-3 / 0-2-3 with unit weights: each source's tree keeps
+	// exactly one of the two equal-cost routes to the far corner.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	a := AllPairs(g)
+	// The 0-3 trees pick exactly one of the equal-cost routes (via 1,
+	// by the deterministic tie-break). Removing the unused edge {2,3}
+	// must leave sources 0 and 1 clean only if their trees avoid it.
+	down := map[[2]int]bool{{2, 3}: true}
+	cut := filterEdges(g, down)
+	b, dirty := a.ApplyDeltas(cut, []EdgeRecord{{U: 2, V: 3, Weight: 1}}, nil, 1)
+	apspBitEqual(t, b, AllPairs(cut))
+	if dirty >= 4 {
+		t.Fatalf("equal-cost alternate removal dirtied all %d sources", dirty)
+	}
+}
+
+// TestHopsAllocFree asserts the satellite guarantee: Hops walks prev
+// links without materializing the path.
+func TestHopsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(rng, 40, 60)
+	a := AllPairs(g)
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := 0; v < 40; v++ {
+			a.Hops(0, v)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Hops allocated %v times per run", allocs)
+	}
+	// Behaviour unchanged vs the path-based definition.
+	for u := 0; u < 40; u++ {
+		for v := 0; v < 40; v++ {
+			want := len(a.Path(u, v)) - 1
+			if got := a.Hops(u, v); got != want {
+				t.Fatalf("Hops(%d,%d)=%d want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCostMatrixContiguous asserts the satellite guarantee: the rows of
+// the returned matrix alias one contiguous row-major buffer (two
+// allocations per call), with values unchanged.
+func TestCostMatrixContiguous(t *testing.T) {
+	a := AllPairs(line(5))
+	keep := []int{0, 4, 2}
+	if allocs := testing.AllocsPerRun(50, func() { a.CostMatrix(keep) }); allocs > 2 {
+		t.Fatalf("CostMatrix allocated %v times per call, want <= 2", allocs)
+	}
+	m := a.CostMatrix(keep)
+	k := len(keep)
+	for i := 1; i < k; i++ {
+		// Row i-1 extended by one element must land on row i's first cell.
+		if &m[i-1][:k+1][k] != &m[i][0] {
+			t.Fatalf("rows %d and %d are not back-to-back in one buffer", i-1, i)
+		}
+	}
+	for i, u := range keep {
+		for j, v := range keep {
+			if m[i][j] != a.Cost(u, v) {
+				t.Fatalf("m[%d][%d]=%v want %v", i, j, m[i][j], a.Cost(u, v))
+			}
+		}
+	}
+}

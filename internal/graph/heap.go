@@ -6,9 +6,25 @@ type heapItem struct {
 	cost float64
 }
 
-// costHeap is a hand-rolled binary min-heap on cost. It avoids the
-// interface boxing of container/heap on the hottest path in the library
-// (all-pairs shortest paths over fat-tree PPDCs).
+// less is the heap's strict total order: primarily by cost, with equal
+// costs broken by vertex ID. The tie-break is not an optimization — it is
+// a correctness requirement of the incremental APSP layer. With a total
+// order, the sequence of *effective* (non-stale) pops is a function of
+// the live entry multiset alone, so extra stale entries left behind by a
+// removed or restored edge cannot reorder equal-cost settlements. That is
+// what makes a Dijkstra run over a delta-filtered graph bit-identical to
+// a from-scratch run whenever the delta does not touch the source's
+// shortest-path tree (see APSP.ApplyDeltas).
+func less(a, b heapItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.v < b.v
+}
+
+// costHeap is a hand-rolled binary min-heap on (cost, vertex). It avoids
+// the interface boxing of container/heap on the hottest path in the
+// library (all-pairs shortest paths over fat-tree PPDCs).
 type costHeap struct {
 	items []heapItem
 }
@@ -20,7 +36,7 @@ func (h *costHeap) push(it heapItem) {
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].cost <= h.items[i].cost {
+		if !less(h.items[i], h.items[parent]) {
 			break
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -37,10 +53,10 @@ func (h *costHeap) pop() heapItem {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < last && h.items[l].cost < h.items[smallest].cost {
+		if l < last && less(h.items[l], h.items[smallest]) {
 			smallest = l
 		}
-		if r < last && h.items[r].cost < h.items[smallest].cost {
+		if r < last && less(h.items[r], h.items[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
