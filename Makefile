@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke bench-solver bench-apsp-delta chaos-smoke
+check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,13 @@ bench-solver:
 bench-apsp-delta:
 	$(GO) test -run TestFaultEventIncrementalMatchesRebuild -bench BenchmarkFaultEvent -benchtime 1x -short ./internal/fault/
 
+# Differential assert plus one-iteration smoke of the layered SFC
+# routing subsystem: the layered shortest path must reproduce the
+# metric-closure chain cost before the build/route/admission benches run
+# once (results/BENCH_sfcroute.json records the full numbers).
+bench-sfcroute:
+	$(GO) test -run TestDifferentialMetricClosure -bench 'BenchmarkLayered|BenchmarkAdmitSaturated' -benchtime 1x ./internal/sfcroute/
+
 # Seeded chaos run under the race detector: a deterministic fault
 # schedule (inject + heal) driven through the online engine next to a
 # fault-free reference, checking the resilience invariants every epoch
@@ -72,3 +79,4 @@ fuzz:
 	$(GO) test -fuzz FuzzFaultHealRoundTrip -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzIncrementalAPSP -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzParallelKernel -fuzztime 30s -run xxx ./internal/differential/
+	$(GO) test -fuzz FuzzMinCostFlow -fuzztime 30s -run xxx ./internal/mcf/

@@ -78,6 +78,11 @@ type ScenarioSpec struct {
 	SearchWorkers int `json:"search_workers,omitempty"`
 	// Policy holds the drift/cooldown/budget knobs.
 	Policy engine.Policy `json:"policy"`
+	// Routing, when set, enables the capacity-aware SFC routing pass:
+	// every epoch re-routes the served flows through the committed chain
+	// against link capacity, reported at GET /v1/scenarios/{id}/routing
+	// and via the vnfopt_sfcroute_* / vnfopt_link_utilization metrics.
+	Routing *engine.RoutingConfig `json:"routing,omitempty"`
 	// State, when set, resumes a scenario from a saved engine state.
 	State json.RawMessage `json:"state,omitempty"`
 }
@@ -190,6 +195,7 @@ func buildEngine(spec *ScenarioSpec, reg *obs.Registry, o *engine.Observer) (*en
 		Placer:   placer,
 		Migrator: mig,
 		Policy:   spec.Policy,
+		Routing:  spec.Routing,
 		Observer: o,
 		// The Exhaustive migrator above already carries Workers (the
 		// instrumentation wrapper hides WorkerTunable from the engine);
@@ -290,6 +296,7 @@ func (s *server) handler() http.Handler {
 	route("POST /v1/scenarios/{id}/faults", s.handleFaults)
 	route("GET /v1/scenarios/{id}/faults", s.handleFaultsGet)
 	route("GET /v1/scenarios/{id}/placement", s.handlePlacement)
+	route("GET /v1/scenarios/{id}/routing", s.handleRouting)
 	route("GET /v1/scenarios/{id}/state", s.handleState)
 	route("GET /v1/scenarios/{id}/metrics", s.handleScenarioMetrics)
 	route("GET /v1/scenarios/{id}/events", s.handleEvents)
@@ -537,6 +544,24 @@ func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sc.eng.Snapshot())
+}
+
+// handleRouting serves the scenario's latest capacity-aware routing
+// report: per-flow admission decisions and per-link utilization under the
+// committed placement. 404 when the scenario exists but capacity routing
+// is not enabled in its spec.
+func (s *server) handleRouting(w http.ResponseWriter, r *http.Request) {
+	sc := s.get(r.PathValue("id"))
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		return
+	}
+	rep := sc.eng.RoutingReport()
+	if rep == nil {
+		writeError(w, codeNotFound, "scenario %q has no capacity routing (set spec.routing)", sc.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": sc.ID, "routing": rep})
 }
 
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {

@@ -39,6 +39,7 @@ import (
 	"vnfopt/internal/migration"
 	"vnfopt/internal/model"
 	"vnfopt/internal/placement"
+	"vnfopt/internal/sfcroute"
 )
 
 // Policy is the engine's migration-control knobs — when the TOM loop may
@@ -110,6 +111,10 @@ type Config struct {
 	// Observer, when non-nil, receives metrics and events (see
 	// Observer). Prefer WithObserver.
 	Observer *Observer
+	// Routing, when non-nil, enables the per-epoch capacity-aware SFC
+	// routing pass (admission control + link utilization; see
+	// RoutingConfig). Prefer WithCapacityRouting.
+	Routing *RoutingConfig
 	// SearchWorkers fans the exact branch-and-bound searches (the
 	// Optimal placer and the Exhaustive migrator) out across goroutines
 	// when the configured solver or migrator supports it (implements its
@@ -151,6 +156,9 @@ type Snapshot struct {
 	// endpoint or partitioned away from the SFC's region); their traffic
 	// is reported, never Inf-costed.
 	UnservedFlows int `json:"unserved_flows"`
+	// Routing digests the last capacity-aware routing pass (nil when
+	// capacity routing is disabled).
+	Routing *RoutingSummary `json:"routing,omitempty"`
 }
 
 // StepResult reports one closed epoch.
@@ -175,6 +183,9 @@ type StepResult struct {
 	Migrated bool `json:"migrated"`
 	// Placement is the committed placement after the epoch (a copy).
 	Placement model.Placement `json:"placement"`
+	// Routing digests the epoch's capacity-aware routing pass (nil when
+	// disabled).
+	Routing *RoutingSummary `json:"routing,omitempty"`
 	// Elapsed is the wall-clock time of the Step call.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -242,6 +253,12 @@ type Engine struct {
 	servable []bool
 	unserved []fault.UnservedFlow
 
+	// Capacity-aware routing state (see routing.go). router is rebuilt
+	// lazily whenever the serving model changes; routingReport holds the
+	// last completed pass.
+	router        *sfcroute.Router
+	routingReport *RoutingReport
+
 	epoch          int
 	committedCost  float64
 	committedEpoch int
@@ -291,6 +308,16 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	if cfg.Policy.RebuildFraction == 0 {
 		cfg.Policy.RebuildFraction = 0.5
 	}
+	if cfg.Routing != nil {
+		rc := *cfg.Routing // engine owns its copy; defaults don't leak back
+		if rc.LinkCapacity <= 0 || math.IsNaN(rc.LinkCapacity) || math.IsInf(rc.LinkCapacity, 0) {
+			return nil, fmt.Errorf("engine: routing link capacity %v must be positive and finite", rc.LinkCapacity)
+		}
+		if rc.SaturationThreshold == 0 {
+			rc.SaturationThreshold = 0.40 // the paper's provisioning point
+		}
+		cfg.Routing = &rc
+	}
 	e := &Engine{
 		cfg:          cfg,
 		mig:          cfg.Migrator,
@@ -326,6 +353,9 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		e.p = p0
 	}
 	e.committedCost = e.cache.CommCost(e.p)
+	if err := e.routeEpoch(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	e.publish(e.committedCost)
 	return e, nil
 }
@@ -418,6 +448,12 @@ func (e *Engine) Step() (StepResult, error) {
 	}
 	res.CommCost = curCost
 	res.Placement = e.p.Clone()
+	if err := e.routeEpoch(); err != nil {
+		e.epoch--
+		e.obs.observeError(e.epoch+1, err)
+		return StepResult{}, fmt.Errorf("engine: epoch %d: %w", e.epoch+1, err)
+	}
+	res.Routing = e.routingSummary()
 
 	e.met.Epochs = e.epoch
 	e.met.LastEpoch = time.Since(start)
@@ -538,6 +574,7 @@ func (e *Engine) publish(curCost float64) {
 		Degraded:       e.view != nil,
 		ActiveFaults:   e.faults.Len(),
 		UnservedFlows:  len(e.unserved),
+		Routing:        e.routingSummary(),
 	})
 }
 

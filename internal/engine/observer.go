@@ -33,6 +33,9 @@ type Observer struct {
 	degraded        *obs.Gauge
 	activeFaults    *obs.Gauge
 	unservedFlows   *obs.Gauge
+	sfcAdmitted     *obs.Gauge
+	sfcRejected     *obs.Gauge
+	linkUtilization *obs.Gauge
 	epochs          *obs.Counter
 	updates         *obs.Counter
 	coalesced       *obs.Counter
@@ -69,6 +72,9 @@ func NewObserver(r *obs.Registry, events *obs.EventLog, scenario string) *Observ
 		degraded:        r.Gauge("vnfopt_engine_degraded" + l),
 		activeFaults:    r.Gauge("vnfopt_engine_active_faults" + l),
 		unservedFlows:   r.Gauge("vnfopt_engine_unserved_flows" + l),
+		sfcAdmitted:     r.Gauge("vnfopt_sfcroute_admitted" + l),
+		sfcRejected:     r.Gauge("vnfopt_sfcroute_rejected" + l),
+		linkUtilization: r.Gauge("vnfopt_link_utilization" + l),
 		epochs:          r.Counter("vnfopt_engine_epochs_total" + l),
 		updates:         r.Counter("vnfopt_engine_updates_total" + l),
 		coalesced:       r.Counter("vnfopt_engine_updates_coalesced_total" + l),
@@ -137,6 +143,29 @@ func (o *Observer) observeStep(res StepResult, drift float64, consultTime time.D
 				"mig_cost":    res.MigCost,
 				"comm_cost":   res.CommCost,
 				"improvement": improvement,
+			})
+	}
+}
+
+// observeRouting records one capacity-aware routing pass: admission
+// gauges, the hottest link's utilization, and an event when the pass
+// rejected flows.
+func (o *Observer) observeRouting(rep *RoutingReport) {
+	if o == nil {
+		return
+	}
+	o.sfcAdmitted.Set(float64(rep.Admitted))
+	o.sfcRejected.Set(float64(rep.Rejected))
+	o.linkUtilization.Set(rep.MaxUtilization)
+	if rep.Rejected > 0 {
+		o.Events.Append("admission_rejected",
+			fmt.Sprintf("epoch %d: %d flows rejected (rate %.6g), max link utilization %.3f",
+				rep.Epoch, rep.Rejected, rep.RejectedRate, rep.MaxUtilization),
+			map[string]float64{
+				"epoch":           float64(rep.Epoch),
+				"rejected":        float64(rep.Rejected),
+				"rejected_rate":   rep.RejectedRate,
+				"max_utilization": rep.MaxUtilization,
 			})
 	}
 }

@@ -53,6 +53,16 @@ func WithObserver(o *Observer) Option {
 	return func(c *Config) { c.Observer = o }
 }
 
+// WithCapacityRouting enables the per-epoch capacity-aware SFC routing
+// pass: flows are routed through the committed chain on the layered
+// expansion against residual link capacity, infeasible flows are flagged
+// or rejected, and per-link utilization is reported (Snapshot.Routing,
+// Engine.RoutingReport, and the vnfopt_sfcroute_* metrics). Set
+// rc.Alpha > 0 for congestion-aware link pricing in the drift loop.
+func WithCapacityRouting(rc RoutingConfig) Option {
+	return func(c *Config) { c.Routing = &rc }
+}
+
 // WithSearchWorkers fans the exact branch-and-bound searches out across
 // n goroutines when the configured placer/migrator supports it (i.e.
 // implements its package's WorkerTunable, as placement.Optimal and

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"vnfopt/internal/routing"
+	"vnfopt/internal/sfcroute"
+)
+
+// RoutingConfig enables the capacity-aware SFC routing pass: when set,
+// every epoch re-routes the served workload through the committed chain
+// placement on the layered expansion (internal/sfcroute), admitting flows
+// against residual link capacity and reporting which flows no feasible
+// route can carry. The placement optimizers stay capacity-blind — this
+// pass is the admission-control check on top of their answer, the
+// capacity side of the paper's 40%-provisioning discussion.
+type RoutingConfig struct {
+	// LinkCapacity is the uniform link capacity (required, > 0), in the
+	// same units as flow rates.
+	LinkCapacity float64 `json:"link_capacity"`
+	// Alpha enables congestion-aware pricing: link weights grow with the
+	// previous epoch's utilization (w · (1 + Alpha·u/(1−u))), so routing
+	// drifts away from hot links in the drift loop. 0 = capacity-blind
+	// weights (admission still enforced).
+	Alpha float64 `json:"alpha,omitempty"`
+	// MaxUtilization is the admission target fraction of capacity
+	// (0 = 1.0). Set 0.40 to admit against the paper's provisioning point.
+	MaxUtilization float64 `json:"max_utilization,omitempty"`
+	// SaturationThreshold marks links "saturated" in reports when their
+	// utilization strictly exceeds it (0 = the paper's 0.40).
+	SaturationThreshold float64 `json:"saturation_threshold,omitempty"`
+	// Classify runs the layered max-flow bound on every rejection to
+	// label provably-infeasible flows (one mcf solve per rejection).
+	Classify bool `json:"classify,omitempty"`
+}
+
+// FlowDecision is one flow's admission outcome in an epoch's routing pass.
+type FlowDecision struct {
+	Flow     int     `json:"flow"`
+	Admitted bool    `json:"admitted"`
+	Cost     float64 `json:"cost,omitempty"`
+	Reroutes int     `json:"reroutes,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// RoutingReport is the full routing state of one epoch: per-flow
+// admission decisions and per-link utilization under the committed
+// placement.
+type RoutingReport struct {
+	// Epoch the pass ran in (0 = the initial placement's pass).
+	Epoch int `json:"epoch"`
+	// Admitted / Rejected count served flows; unserved (fault-excluded)
+	// flows are in neither.
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// AdmittedRate / RejectedRate total the corresponding flow rates.
+	AdmittedRate float64 `json:"admitted_rate"`
+	RejectedRate float64 `json:"rejected_rate"`
+	// RejectReasons histograms rejections by sfcroute reason.
+	RejectReasons map[string]int `json:"reject_reasons,omitempty"`
+	// MaxUtilization is the hottest link's utilization; MaxLink its
+	// identity.
+	MaxUtilization float64      `json:"max_utilization"`
+	MaxLink        routing.Link `json:"max_link"`
+	// Links lists every loaded link hottest-first with capacity headroom;
+	// Saturated is the prefix above SaturationThreshold.
+	Links     []routing.LinkLoad `json:"links"`
+	Saturated []routing.LinkLoad `json:"saturated,omitempty"`
+	// Decisions holds the per-flow outcomes, indexed like the base
+	// workload (unserved flows omitted).
+	Decisions []FlowDecision `json:"decisions"`
+}
+
+// RoutingSummary is the snapshot-sized digest of a RoutingReport.
+type RoutingSummary struct {
+	Admitted           int     `json:"admitted"`
+	Rejected           int     `json:"rejected"`
+	MaxLinkUtilization float64 `json:"max_link_utilization"`
+	SaturatedLinks     int     `json:"saturated_links"`
+}
+
+// routeEpoch runs the capacity-aware routing pass for the current
+// placement and serving model, rebuilding the router lazily when a fault
+// transition swapped the serving model. Called with e.mu held; a nil
+// RoutingConfig makes it a no-op.
+func (e *Engine) routeEpoch() error {
+	rc := e.cfg.Routing
+	if rc == nil {
+		return nil
+	}
+	if e.router == nil || e.router.Model() != e.d {
+		r, err := sfcroute.NewRouter(e.d, sfcroute.Config{
+			Capacity:       rc.LinkCapacity,
+			Alpha:          rc.Alpha,
+			MaxUtilization: rc.MaxUtilization,
+			Classify:       rc.Classify,
+		})
+		if err != nil {
+			return fmt.Errorf("routing: %w", err)
+		}
+		e.router = r
+	}
+	if err := e.router.BeginEpoch(sfcroute.PlacementSites(e.p)); err != nil {
+		return fmt.Errorf("routing: %w", err)
+	}
+	rep := &RoutingReport{Epoch: e.epoch, Decisions: make([]FlowDecision, 0, len(e.flows))}
+	for i := range e.flows {
+		if e.servable != nil && !e.servable[i] {
+			continue
+		}
+		f := e.flows[i]
+		dec, err := e.router.Admit(f.Src, f.Dst, f.Rate)
+		if err != nil {
+			return fmt.Errorf("routing: flow %d: %w", i, err)
+		}
+		rep.Decisions = append(rep.Decisions, FlowDecision{
+			Flow: i, Admitted: dec.Admitted, Cost: dec.Cost,
+			Reroutes: dec.Reroutes, Reason: dec.Reason,
+		})
+		if dec.Admitted {
+			rep.Admitted++
+			rep.AdmittedRate += f.Rate
+		} else {
+			rep.Rejected++
+			rep.RejectedRate += f.Rate
+			if rep.RejectReasons == nil {
+				rep.RejectReasons = make(map[string]int)
+			}
+			rep.RejectReasons[dec.Reason]++
+		}
+	}
+	rep.Links = e.router.LinkLoads()
+	thr := rc.SaturationThreshold
+	cut := len(rep.Links)
+	for i, l := range rep.Links {
+		if l.Utilization <= thr {
+			cut = i
+			break
+		}
+	}
+	rep.Saturated = rep.Links[:cut]
+	rep.MaxUtilization, rep.MaxLink = e.router.MaxUtilization()
+	e.routingReport = rep
+	e.obs.observeRouting(rep)
+	return nil
+}
+
+// routingSummary digests the last routing pass for the snapshot. Called
+// with e.mu held.
+func (e *Engine) routingSummary() *RoutingSummary {
+	rep := e.routingReport
+	if rep == nil {
+		return nil
+	}
+	return &RoutingSummary{
+		Admitted:           rep.Admitted,
+		Rejected:           rep.Rejected,
+		MaxLinkUtilization: rep.MaxUtilization,
+		SaturatedLinks:     len(rep.Saturated),
+	}
+}
+
+// RoutingReport returns a copy of the most recent routing pass, or nil
+// when capacity routing is disabled (or the last pass failed).
+func (e *Engine) RoutingReport() *RoutingReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := e.routingReport
+	if rep == nil {
+		return nil
+	}
+	cp := *rep
+	cp.Links = append([]routing.LinkLoad(nil), rep.Links...)
+	cp.Saturated = cp.Links[:len(rep.Saturated)]
+	cp.Decisions = append([]FlowDecision(nil), rep.Decisions...)
+	if rep.RejectReasons != nil {
+		cp.RejectReasons = make(map[string]int, len(rep.RejectReasons))
+		for k, v := range rep.RejectReasons {
+			cp.RejectReasons[k] = v
+		}
+	}
+	return &cp
+}

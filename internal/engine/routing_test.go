@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"vnfopt/internal/fault"
+	"vnfopt/internal/model"
+	"vnfopt/internal/obs"
+	"vnfopt/internal/sfcroute"
+	"vnfopt/internal/topology"
+)
+
+func routingScenario(t *testing.T) (*model.PPDC, model.SFC, model.Workload) {
+	t.Helper()
+	d := model.MustNew(topology.MustFatTree(4, nil), model.Options{})
+	hosts := d.Hosts()
+	w := model.Workload{
+		{Src: hosts[0], Dst: hosts[8], Rate: 10},
+		{Src: hosts[1], Dst: hosts[9], Rate: 10},
+		{Src: hosts[2], Dst: hosts[10], Rate: 10},
+		{Src: hosts[3], Dst: hosts[11], Rate: 10},
+	}
+	return d, model.NewSFC(2), w
+}
+
+func TestEngineCapacityRoutingPublishes(t *testing.T) {
+	d, sfc, w := routingScenario(t)
+	reg := obs.NewRegistry()
+	o := NewObserver(reg, obs.NewEventLog(16), "test")
+	e, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{LinkCapacity: 1000}),
+		WithObserver(o))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	snap := e.Snapshot()
+	if snap.Routing == nil {
+		t.Fatal("initial snapshot has no routing summary")
+	}
+	if snap.Routing.Admitted != len(w) || snap.Routing.Rejected != 0 {
+		t.Fatalf("initial routing %+v, want all %d admitted", snap.Routing, len(w))
+	}
+	res, err := e.Step()
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if res.Routing == nil || res.Routing.Admitted != len(w) {
+		t.Fatalf("step routing %+v", res.Routing)
+	}
+	rep := e.RoutingReport()
+	if rep == nil || len(rep.Decisions) != len(w) {
+		t.Fatalf("RoutingReport %+v", rep)
+	}
+	if rep.MaxUtilization <= 0 || rep.MaxUtilization > 0.1 {
+		t.Fatalf("max utilization %v, want small positive", rep.MaxUtilization)
+	}
+	if len(rep.Links) == 0 || len(rep.Saturated) != 0 {
+		t.Fatalf("links %d saturated %d, want loaded links and none saturated", len(rep.Links), len(rep.Saturated))
+	}
+	if got := reg.Gauge(`vnfopt_sfcroute_admitted{scenario="test"}`).Value(); got != float64(len(w)) {
+		t.Fatalf("admitted gauge %v, want %d", got, len(w))
+	}
+	if got := reg.Gauge(`vnfopt_link_utilization{scenario="test"}`).Value(); got != rep.MaxUtilization {
+		t.Fatalf("utilization gauge %v, want %v", got, rep.MaxUtilization)
+	}
+}
+
+func TestEngineAdmissionRejectsOverCapacity(t *testing.T) {
+	d, sfc, w := routingScenario(t)
+	reg := obs.NewRegistry()
+	o := NewObserver(reg, obs.NewEventLog(16), "")
+	// Capacity 15 admits one 10-rate flow per link but not two; the four
+	// flows funnel through the two shared chain switches, so some must be
+	// rejected — and Classify proves the ones that are.
+	e, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{LinkCapacity: 15, Classify: true}),
+		WithObserver(o))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := e.RoutingReport()
+	if rep == nil || rep.Rejected == 0 {
+		t.Fatalf("expected rejections under capacity 15, got %+v", rep)
+	}
+	if rep.Admitted+rep.Rejected != len(w) {
+		t.Fatalf("admitted %d + rejected %d != %d flows", rep.Admitted, rep.Rejected, len(w))
+	}
+	if len(rep.RejectReasons) == 0 {
+		t.Fatalf("no reject reasons recorded: %+v", rep)
+	}
+	if got := reg.Gauge("vnfopt_sfcroute_rejected").Value(); got != float64(rep.Rejected) {
+		t.Fatalf("rejected gauge %v, want %d", got, rep.Rejected)
+	}
+	snap := e.Snapshot()
+	if snap.Routing == nil || snap.Routing.Rejected != rep.Rejected {
+		t.Fatalf("snapshot summary %+v does not match report", snap.Routing)
+	}
+}
+
+func TestEngineRoutingSurvivesFaultTransition(t *testing.T) {
+	d, sfc, w := routingScenario(t)
+	e, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{LinkCapacity: 1000}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Kill one core switch: the serving model swaps and the router must
+	// rebuild against the degraded fabric.
+	core := d.Switches()[len(d.Switches())-1]
+	if _, err := e.ApplyFaults(context.Background(), []fault.Fault{{Kind: fault.Switch, U: core}}, nil); err != nil {
+		t.Fatalf("ApplyFaults: %v", err)
+	}
+	rep := e.RoutingReport()
+	if rep == nil || rep.Admitted == 0 {
+		t.Fatalf("no routing report after fault: %+v", rep)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatalf("Step after fault: %v", err)
+	}
+	if rep = e.RoutingReport(); rep == nil || rep.Epoch != 1 {
+		t.Fatalf("stale routing report after post-fault step: %+v", rep)
+	}
+}
+
+func TestEngineRoutingDisabledByDefault(t *testing.T) {
+	d, sfc, w := routingScenario(t)
+	e, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Snapshot().Routing != nil || e.RoutingReport() != nil {
+		t.Fatal("routing artifacts present without WithCapacityRouting")
+	}
+	res, err := e.Step()
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if res.Routing != nil {
+		t.Fatal("step routing summary present without WithCapacityRouting")
+	}
+}
+
+func TestEngineRoutingConfigValidation(t *testing.T) {
+	d, sfc, w := routingScenario(t)
+	if _, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{})); err == nil {
+		t.Fatal("accepted zero link capacity")
+	}
+	if _, err := New(Config{PPDC: d, SFC: sfc, Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{LinkCapacity: 10, Alpha: -1})); err == nil {
+		t.Fatal("accepted negative alpha")
+	}
+}
+
+// TestEngineAdmissionSpreadsWithinEpoch pins the mechanism behind the
+// flash-crowd example: with a utilization target, residual-headroom
+// pruning pushes same-pair flows onto disjoint equal-cost paths inside
+// one epoch, keeping the hottest link at the target while the
+// capacity-blind route stacks everything on one path.
+func TestEngineAdmissionSpreadsWithinEpoch(t *testing.T) {
+	d := model.MustNew(topology.MustFatTree(4, nil), model.Options{})
+	hosts := d.Hosts()
+	// Four flows per host pair across pods: 8 × rate 10 between pods 0↔2.
+	var w model.Workload
+	for i := 0; i < 4; i++ {
+		w = append(w, model.VMPair{Src: hosts[i], Dst: hosts[8+i], Rate: 20})
+	}
+	e, err := New(Config{PPDC: d, SFC: model.NewSFC(1), Base: w, Mu: 1},
+		WithCapacityRouting(RoutingConfig{LinkCapacity: 100, MaxUtilization: 0.40, Classify: true}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := e.RoutingReport()
+	if rep == nil {
+		t.Fatal("no routing report")
+	}
+	if rep.MaxUtilization > 0.40+1e-12 {
+		t.Fatalf("admission exceeded the 0.40 target: %v at %v", rep.MaxUtilization, rep.MaxLink)
+	}
+	for _, dec := range rep.Decisions {
+		if !dec.Admitted && dec.Reason == sfcroute.ReasonInfeasible {
+			t.Fatalf("flow %d provably infeasible under 0.40 target: %+v", dec.Flow, dec)
+		}
+	}
+}

@@ -1,5 +1,10 @@
 package graph
 
+import (
+	"fmt"
+	"math"
+)
+
 // CSR is a frozen compressed-sparse-row view of a Graph: all adjacency
 // lists flattened into two parallel arrays indexed by a per-vertex offset
 // table. Dijkstra over a CSR touches two contiguous slices instead of
@@ -91,4 +96,115 @@ func (c *CSR) Dijkstra(src int) (dist []float64, prev []int32) {
 	var s SSSPScratch
 	c.DijkstraInto(src, dist, prev, &s)
 	return dist, prev
+}
+
+// NumSlots returns the number of directed edge slots in the snapshot
+// (2× the undirected edge count for a frozen Graph; layered expansions
+// add their inter-layer slots on top).
+func (c *CSR) NumSlots() int { return len(c.to) }
+
+// ForEachSlot calls f once per directed edge slot in slot order:
+// f(slot, u, v, w) for the slot'th edge u→v of weight w. Routing layers
+// use it to build slot-indexed side tables (physical-link ids, pricing
+// buffers) that line up with a WithWeights weight array.
+func (c *CSR) ForEachSlot(f func(slot, u, v int, w float64)) {
+	for u := 0; u < c.n; u++ {
+		for e := c.rowStart[u]; e < c.rowStart[u+1]; e++ {
+			f(int(e), u, int(c.to[e]), c.wt[e])
+		}
+	}
+}
+
+// WithWeights returns a snapshot sharing this one's structure (rowStart
+// and target arrays) with wt as its weight array; len(wt) must equal
+// NumSlots(). The caller keeps ownership of wt and may rewrite it
+// between Dijkstra runs — the capacity-aware router reuses one buffer
+// to prune saturated links (weight +Inf) without reallocating.
+func (c *CSR) WithWeights(wt []float64) *CSR {
+	if len(wt) != len(c.wt) {
+		panic(fmt.Sprintf("graph: WithWeights got %d slots, snapshot has %d", len(wt), len(c.wt)))
+	}
+	return &CSR{n: c.n, rowStart: c.rowStart, to: c.to, wt: wt}
+}
+
+// Reweight returns a snapshot with the same structure (rowStart and
+// target arrays are shared, not copied) but every edge weight replaced
+// by f(u, v, w). buf, when non-nil, must have length NumSlots() and
+// becomes the new weight array — callers repricing a snapshot every
+// epoch (the congestion-aware router) reuse one buffer and allocate
+// nothing. f must return a non-negative weight or +Inf; +Inf prunes the
+// edge from any Dijkstra run without disturbing the slot layout.
+func (c *CSR) Reweight(buf []float64, f func(u, v int, w float64) float64) *CSR {
+	if buf == nil {
+		buf = make([]float64, len(c.wt))
+	} else if len(buf) != len(c.wt) {
+		panic(fmt.Sprintf("graph: Reweight buffer has %d slots, snapshot has %d", len(buf), len(c.wt)))
+	}
+	for u := 0; u < c.n; u++ {
+		for e := c.rowStart[u]; e < c.rowStart[u+1]; e++ {
+			buf[e] = f(u, int(c.to[e]), c.wt[e])
+		}
+	}
+	return &CSR{n: c.n, rowStart: c.rowStart, to: c.to, wt: buf}
+}
+
+// Layered builds the directed layered expansion of the snapshot used
+// for chain-constrained routing (Sallam et al.): len(gateways)+1
+// stacked copies of the graph, where copy ℓ keeps every edge of the
+// snapshot (shifted by ℓ·Order()) and each gateway vertex v ∈
+// gateways[ℓ] gains one extra *directed* edge from its copy in layer ℓ
+// to its copy in layer ℓ+1 with weight interWeight. A path from (0,
+// src) to (len(gateways), dst) therefore crosses exactly one gateway
+// of every stage in order — the service-function-chain constraint
+// expressed as plain graph structure. Duplicate gateway entries within
+// one stage collapse to a single edge; out-of-range vertices panic.
+//
+// Vertex (ℓ, v) has ID ℓ·Order()+v. The expansion is itself a CSR, so
+// DijkstraInto runs on it unchanged and stays zero-alloc with a warm
+// scratch.
+func (c *CSR) Layered(gateways [][]int, interWeight float64) *CSR {
+	if interWeight < 0 || math.IsNaN(interWeight) {
+		panic(fmt.Sprintf("graph: invalid inter-layer weight %v", interWeight))
+	}
+	layers := len(gateways) + 1
+	n := c.n
+	extra := 0
+	for _, stage := range gateways {
+		extra += len(stage)
+	}
+	L := &CSR{
+		n:        layers * n,
+		rowStart: make([]int32, layers*n+1),
+		to:       make([]int32, 0, layers*len(c.to)+extra),
+		wt:       make([]float64, 0, layers*len(c.wt)+extra),
+	}
+	gw := make([]bool, n)
+	for l := 0; l < layers; l++ {
+		up := l < layers-1
+		if up {
+			for i := range gw {
+				gw[i] = false
+			}
+			for _, v := range gateways[l] {
+				if v < 0 || v >= n {
+					panic(fmt.Sprintf("graph: layered gateway %d out of range [0,%d)", v, n))
+				}
+				gw[v] = true
+			}
+		}
+		off := int32(l * n)
+		for u := 0; u < n; u++ {
+			L.rowStart[off+int32(u)] = int32(len(L.to))
+			for e := c.rowStart[u]; e < c.rowStart[u+1]; e++ {
+				L.to = append(L.to, c.to[e]+off)
+				L.wt = append(L.wt, c.wt[e])
+			}
+			if up && gw[u] {
+				L.to = append(L.to, off+int32(n)+int32(u))
+				L.wt = append(L.wt, interWeight)
+			}
+		}
+	}
+	L.rowStart[layers*n] = int32(len(L.to))
+	return L
 }

@@ -104,3 +104,99 @@ func TestAllPairsParallelBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestCSRLayeredEmptyChain: zero gateway stages must reproduce the base
+// snapshot exactly — same order, same Dijkstra output.
+func TestCSRLayeredEmptyChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 20, 30)
+	base := g.Freeze()
+	lay := base.Layered(nil, 0)
+	if lay.Order() != base.Order() || lay.NumSlots() != base.NumSlots() {
+		t.Fatalf("empty-chain expansion reshaped the graph: %d/%d vs %d/%d",
+			lay.Order(), lay.NumSlots(), base.Order(), base.NumSlots())
+	}
+	for src := 0; src < base.Order(); src++ {
+		wd, wp := base.Dijkstra(src)
+		gd, gp := lay.Dijkstra(src)
+		for v := range wd {
+			if wd[v] != gd[v] || wp[v] != gp[v] {
+				t.Fatalf("src %d vertex %d: (%v,%d) vs base (%v,%d)", src, v, gd[v], gp[v], wd[v], wp[v])
+			}
+		}
+	}
+}
+
+// TestCSRLayeredChainConstraint: on a 4-path a-b-c-d with the single
+// gateway at c, the layered shortest path a→(1,b) must detour through c
+// (cost a→c + c→b), not take the direct a→b edge.
+func TestCSRLayeredChainConstraint(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	lay := g.Freeze().Layered([][]int{{2}}, 0)
+	if lay.Order() != 8 {
+		t.Fatalf("expected 2×4 layered vertices, got %d", lay.Order())
+	}
+	dist, _ := lay.Dijkstra(0)
+	// (1,b) = vertex 4+1: a→b→c, cross, c→b = 2 + 0 + 1.
+	if dist[4+1] != 3 {
+		t.Fatalf("constrained a→b cost = %v, want 3", dist[4+1])
+	}
+	// Layer 1 cannot be left downward: (1,a) must cost 2+0+2, and layer 0
+	// must be unreachable from layer 1 (directed crossing). Reaching (0,x)
+	// never goes through layer 1, so dist of layer-0 vertices match base.
+	if dist[4+0] != 4 {
+		t.Fatalf("constrained a→a cost = %v, want 4", dist[4])
+	}
+	// From (1,a) the lower layer is unreachable.
+	dist1, _ := lay.Dijkstra(4 + 0)
+	for v := 0; v < 4; v++ {
+		if !math.IsInf(dist1[v], 1) {
+			t.Fatalf("layer-1 escaped downward to %d (cost %v)", v, dist1[v])
+		}
+	}
+}
+
+// TestCSRLayeredDuplicateGateways: duplicate gateway entries collapse to
+// one crossing edge.
+func TestCSRLayeredDuplicateGateways(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	lay := g.Freeze().Layered([][]int{{1, 1, 1}}, 0)
+	if got, want := lay.NumSlots(), 2*2+1; got != want {
+		t.Fatalf("slots = %d, want %d (duplicates must collapse)", got, want)
+	}
+}
+
+// TestCSRReweight: the reweighted snapshot shares structure, applies f,
+// and an Inf weight prunes the edge; a caller buffer is adopted.
+func TestCSRReweight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 10)
+	base := g.Freeze()
+	buf := make([]float64, base.NumSlots())
+	doubled := base.Reweight(buf, func(u, v int, w float64) float64 { return 2 * w })
+	d, _ := doubled.Dijkstra(0)
+	if d[2] != 10 { // 2*(2+3)
+		t.Fatalf("doubled dist[2] = %v, want 10", d[2])
+	}
+	pruned := base.Reweight(nil, func(u, v int, w float64) float64 {
+		if (u == 0 && v == 1) || (u == 1 && v == 0) {
+			return math.Inf(1)
+		}
+		return w
+	})
+	d, prev := pruned.Dijkstra(0)
+	if d[1] != 13 || prev[1] != 2 {
+		t.Fatalf("pruned dist[1] = %v via %d, want 13 via 2", d[1], prev[1])
+	}
+	// The base snapshot is untouched.
+	d, _ = base.Dijkstra(0)
+	if d[2] != 5 {
+		t.Fatalf("base snapshot mutated: dist[2] = %v, want 5", d[2])
+	}
+}

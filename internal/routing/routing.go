@@ -132,6 +132,82 @@ func Summarize(loads map[Link]float64) Report {
 	return r
 }
 
+// LinkLoad is one link's capacity-aware load record: the raw traffic it
+// carries, its capacity, the resulting utilization fraction, and the
+// remaining headroom (capacity − load, clamped at 0). Headroom — not raw
+// load — is what admission decisions consume, so reports surface it
+// directly.
+type LinkLoad struct {
+	Link        Link    `json:"link"`
+	Load        float64 `json:"load"`
+	Capacity    float64 `json:"capacity"`
+	Utilization float64 `json:"utilization"`
+	Headroom    float64 `json:"headroom"`
+}
+
+// CapacityFunc returns the capacity of a link. Generators must return a
+// positive, finite capacity for every link they are asked about.
+type CapacityFunc func(Link) float64
+
+// UniformCapacity returns a CapacityFunc assigning every link the same
+// capacity c (the paper's homogeneous-fabric provisioning assumption).
+func UniformCapacity(c float64) CapacityFunc {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("routing: invalid uniform capacity %v", c))
+	}
+	return func(Link) float64 { return c }
+}
+
+// Loads converts a raw load map into per-link capacity-aware records,
+// sorted by descending utilization (ties by link endpoints, so output is
+// deterministic). Zero-load links are omitted; a non-positive capacity
+// from capOf is an error.
+func Loads(loads map[Link]float64, capOf CapacityFunc) ([]LinkLoad, error) {
+	out := make([]LinkLoad, 0, len(loads))
+	for l, v := range loads {
+		if v <= 0 {
+			continue
+		}
+		c := capOf(l)
+		if c <= 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("routing: link (%d,%d) has invalid capacity %v", l.U, l.V, c)
+		}
+		rec := LinkLoad{Link: l, Load: v, Capacity: c, Utilization: v / c, Headroom: c - v}
+		if rec.Headroom < 0 {
+			rec.Headroom = 0
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		if out[i].Link.U != out[j].Link.U {
+			return out[i].Link.U < out[j].Link.U
+		}
+		return out[i].Link.V < out[j].Link.V
+	})
+	return out, nil
+}
+
+// Saturated filters Loads down to links whose utilization strictly
+// exceeds threshold (e.g. the paper's 0.40 provisioning point), sorted
+// hottest first.
+func Saturated(loads map[Link]float64, capOf CapacityFunc, threshold float64) ([]LinkLoad, error) {
+	all, err := Loads(loads, capOf)
+	if err != nil {
+		return nil, err
+	}
+	cut := len(all)
+	for i, r := range all {
+		if r.Utilization <= threshold {
+			cut = i
+			break
+		}
+	}
+	return all[:cut], nil
+}
+
 // Utilization converts a load map into per-link utilization fractions
 // given a uniform link capacity, reporting the fraction of links above
 // the threshold (e.g. the paper's 0.40 provisioning point).

@@ -221,3 +221,58 @@ func TestRouteDisconnected(t *testing.T) {
 		t.Fatal("self-migration route should be nil")
 	}
 }
+
+// TestLoadsHeadroom: Loads surfaces capacity headroom per link, sorted
+// hottest first with a deterministic tie order, and clamps negative
+// headroom on overloaded links.
+func TestLoadsHeadroom(t *testing.T) {
+	loads := map[Link]float64{
+		{U: 0, V: 1}: 30,
+		{U: 1, V: 2}: 120, // overloaded
+		{U: 2, V: 3}: 30,  // utilization tie with (0,1)
+		{U: 3, V: 4}: 0,   // dropped
+	}
+	recs, err := Loads(loads, UniformCapacity(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Link != (Link{U: 1, V: 2}) || recs[0].Utilization != 1.2 || recs[0].Headroom != 0 {
+		t.Fatalf("hottest record wrong: %+v", recs[0])
+	}
+	if recs[1].Link != (Link{U: 0, V: 1}) || recs[2].Link != (Link{U: 2, V: 3}) {
+		t.Fatalf("tie order not deterministic: %+v", recs[1:])
+	}
+	if recs[1].Headroom != 70 {
+		t.Fatalf("headroom = %v, want 70", recs[1].Headroom)
+	}
+}
+
+// TestSaturated: only links strictly above the threshold survive, in
+// descending utilization order.
+func TestSaturated(t *testing.T) {
+	loads := map[Link]float64{
+		{U: 0, V: 1}: 39,
+		{U: 1, V: 2}: 41,
+		{U: 2, V: 3}: 95,
+		{U: 3, V: 4}: 40, // exactly at threshold: excluded
+	}
+	hot, err := Saturated(loads, UniformCapacity(100), 0.40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 2 || hot[0].Link != (Link{U: 2, V: 3}) || hot[1].Link != (Link{U: 1, V: 2}) {
+		t.Fatalf("saturated set wrong: %+v", hot)
+	}
+}
+
+// TestLoadsBadCapacity: a non-positive capacity is an error, not a NaN
+// in the report.
+func TestLoadsBadCapacity(t *testing.T) {
+	loads := map[Link]float64{{U: 0, V: 1}: 1}
+	if _, err := Loads(loads, func(Link) float64 { return 0 }); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+}

@@ -1,0 +1,101 @@
+package sfcroute
+
+import (
+	"fmt"
+	"testing"
+
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// benchSites picks a 3-stage chain over spread-out core switches.
+func benchSites(d *model.PPDC) [][]int {
+	sw := d.Switches()
+	return [][]int{{sw[0]}, {sw[len(sw)/2]}, {sw[len(sw)-1]}}
+}
+
+func BenchmarkLayeredBuild(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		k := k
+		b.Run(fmt.Sprintf("fat-tree-k%d-n3", k), func(b *testing.B) {
+			d := model.MustNew(topology.MustFatTree(k, nil), model.Options{})
+			base := d.Topo.Graph.Freeze()
+			sites := benchSites(d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildLayered(base, sites); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLayeredRoute(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		k := k
+		b.Run(fmt.Sprintf("fat-tree-k%d-n3", k), func(b *testing.B) {
+			d := model.MustNew(topology.MustFatTree(k, nil), model.Options{})
+			r, err := NewRouter(d, Config{Capacity: 1e12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.BeginEpoch(benchSites(d)); err != nil {
+				b.Fatal(err)
+			}
+			hosts := d.Hosts()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := hosts[i%len(hosts)]
+				dst := hosts[(i*7+3)%len(hosts)]
+				if _, err := r.Route(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmitSaturated measures admission in a fabric provisioned so
+// tightly that pruning and rejection paths are exercised: capacity admits
+// only a handful of flows per epoch, so the steady state mixes commits,
+// reroutes, and max-flow-classified rejections.
+func BenchmarkAdmitSaturated(b *testing.B) {
+	d := model.MustNew(topology.MustFatTree(8, nil), model.Options{})
+	r, err := NewRouter(d, Config{Capacity: 40, Alpha: 1, Classify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := benchSites(d)
+	if err := r.BeginEpoch(sites); err != nil {
+		b.Fatal(err)
+	}
+	hosts := d.Hosts()
+	admitted, rejected := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			if err := r.BeginEpoch(sites); err != nil {
+				b.Fatal(err)
+			}
+		}
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i*13+5)%len(hosts)]
+		dec, err := r.Admit(src, dst, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Admitted {
+			admitted++
+		} else {
+			rejected++
+		}
+	}
+	b.StopTimer()
+	if b.N > 100 && (admitted == 0 || rejected == 0) {
+		b.Fatalf("saturated scenario not saturated: %d admitted, %d rejected", admitted, rejected)
+	}
+}

@@ -1,0 +1,245 @@
+package sfcroute
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/graph"
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// line returns the CSR of a path graph 0-1-...-(n-1) with unit weights.
+func line(n int) *graph.CSR {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g.Freeze()
+}
+
+func TestEmptyChainIsPlainShortestPath(t *testing.T) {
+	base := line(6)
+	lay, err := BuildLayered(base, nil)
+	if err != nil {
+		t.Fatalf("BuildLayered(nil): %v", err)
+	}
+	if lay.Order() != base.Order() || lay.Stages() != 0 {
+		t.Fatalf("n=0 expansion has order %d stages %d", lay.Order(), lay.Stages())
+	}
+	res, err := lay.ShortestPath(0, 5)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	dist, _ := base.Dijkstra(0)
+	if res.Cost != dist[5] {
+		t.Fatalf("n=0 cost %v != plain Dijkstra %v", res.Cost, dist[5])
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(res.Walk) != len(want) {
+		t.Fatalf("walk %v, want %v", res.Walk, want)
+	}
+	for i := range want {
+		if res.Walk[i] != want[i] {
+			t.Fatalf("walk %v, want %v", res.Walk, want)
+		}
+	}
+	if len(res.Gateways) != 0 {
+		t.Fatalf("n=0 walk has gateways %v", res.Gateways)
+	}
+}
+
+func TestSiteAtSourceAndDestination(t *testing.T) {
+	base := line(5)
+	// Stage 1 sits on the source vertex, stage 2 on the destination:
+	// the chain adds zero detour and both crossings are at walk endpoints.
+	lay, err := BuildLayered(base, [][]int{{0}, {4}})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	res, err := lay.ShortestPath(0, 4)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if res.Cost != 4 {
+		t.Fatalf("cost %v, want 4 (no detour for on-path sites)", res.Cost)
+	}
+	if len(res.Walk) != 5 || res.Walk[0] != 0 || res.Walk[4] != 4 {
+		t.Fatalf("walk %v, want [0 1 2 3 4]", res.Walk)
+	}
+	if len(res.Gateways) != 2 || res.Gateways[0] != 0 || res.Gateways[1] != 4 {
+		t.Fatalf("gateways %v, want [0 4]", res.Gateways)
+	}
+}
+
+func TestSpurSiteDoublesLink(t *testing.T) {
+	// Star: 0-1, 1-2, 1-3. Chain site 3 is a spur off the 0→2 path, so
+	// the walk must enter and leave it over the same link.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	lay, err := BuildLayered(g.Freeze(), [][]int{{3}})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	res, err := lay.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if res.Cost != 4 {
+		t.Fatalf("cost %v, want 4 (0-1, 1-3 twice, 1-2)", res.Cost)
+	}
+	want := []int{0, 1, 3, 1, 2}
+	if len(res.Walk) != len(want) {
+		t.Fatalf("walk %v, want %v", res.Walk, want)
+	}
+	for i := range want {
+		if res.Walk[i] != want[i] {
+			t.Fatalf("walk %v, want %v", res.Walk, want)
+		}
+	}
+	if len(res.Gateways) != 1 || res.Gateways[0] != 3 {
+		t.Fatalf("gateways %v, want [3]", res.Gateways)
+	}
+}
+
+func TestBuildLayeredErrors(t *testing.T) {
+	base := line(4)
+	if _, err := BuildLayered(base, [][]int{{1}, {}}); !errors.Is(err, ErrNoSite) {
+		t.Fatalf("empty stage: got %v, want ErrNoSite", err)
+	}
+	if _, err := BuildLayered(base, [][]int{{4}}); err == nil {
+		t.Fatal("out-of-range site accepted")
+	}
+	if _, err := BuildLayered(base, [][]int{{-1}}); err == nil {
+		t.Fatal("negative site accepted")
+	}
+}
+
+func TestUnreachableLayerFailsCleanly(t *testing.T) {
+	// Two components: 0-1 and 2-3. A site in the far component makes the
+	// layer boundary uncrossable from src.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	lay, err := BuildLayered(g.Freeze(), [][]int{{2}})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	if _, err := lay.ShortestPath(0, 1); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("unreachable chain: got %v, want ErrUnroutable", err)
+	}
+	// Bad endpoints are caller errors, not ErrUnroutable.
+	if _, err := lay.ShortestPath(-1, 1); err == nil || errors.Is(err, ErrUnroutable) {
+		t.Fatalf("negative src: got %v", err)
+	}
+	if _, err := lay.ShortestPath(0, 4); err == nil || errors.Is(err, ErrUnroutable) {
+		t.Fatalf("out-of-range dst: got %v", err)
+	}
+}
+
+func TestShortestPathOnRejectsForeignView(t *testing.T) {
+	lay, err := BuildLayered(line(4), [][]int{{1}})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	dist := make([]float64, lay.Order())
+	prev := make([]int32, lay.Order())
+	var s graph.SSSPScratch
+	if _, err := lay.ShortestPathOn(line(4), 0, 3, dist, prev, &s); err == nil {
+		t.Fatal("accepted a weight view with the wrong order")
+	}
+}
+
+// TestDifferentialMetricClosure is the acceptance-criterion differential:
+// with capacities non-binding, the layered shortest-path cost for a
+// placement chain must match the metric-closure concatenation the
+// optimizers price — bit-identical on unit-weight fabrics (all sums are
+// small integers, exact in float64), within 1e-9 relative error on
+// weighted fabrics (equal-cost ties may resolve to different paths whose
+// sums associate differently).
+func TestDifferentialMetricClosure(t *testing.T) {
+	fixtures := []struct {
+		name  string
+		topo  *topology.Topology
+		exact bool
+	}{
+		{"fat-tree-k8-unit", topology.MustFatTree(8, nil), true},
+		{"fat-tree-k4-weighted", topology.MustFatTree(4, topology.PaperDelay(rand.New(rand.NewSource(7)))), false},
+	}
+	if jf, err := topology.Jellyfish(16, 4, 2, nil, rand.New(rand.NewSource(3))); err == nil {
+		fixtures = append(fixtures, struct {
+			name  string
+			topo  *topology.Topology
+			exact bool
+		}{"jellyfish-16-unit", jf, true})
+	} else {
+		t.Fatalf("jellyfish fixture: %v", err)
+	}
+	if jf, err := topology.Jellyfish(14, 3, 1, topology.PaperDelay(rand.New(rand.NewSource(11))), rand.New(rand.NewSource(4))); err == nil {
+		fixtures = append(fixtures, struct {
+			name  string
+			topo  *topology.Topology
+			exact bool
+		}{"jellyfish-14-weighted", jf, false})
+	} else {
+		t.Fatalf("weighted jellyfish fixture: %v", err)
+	}
+
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			d := model.MustNew(fx.topo, model.Options{})
+			base := d.Topo.Graph.Freeze()
+			rng := rand.New(rand.NewSource(42))
+			hosts, switches := d.Hosts(), d.Switches()
+			for trial := 0; trial < 60; trial++ {
+				src := hosts[rng.Intn(len(hosts))]
+				dst := hosts[rng.Intn(len(hosts))]
+				n := rng.Intn(4) // chains of length 0..3
+				p := make(model.Placement, n)
+				for j := range p {
+					p[j] = switches[rng.Intn(len(switches))]
+				}
+				lay, err := BuildLayered(base, PlacementSites(p))
+				if err != nil {
+					t.Fatalf("trial %d: BuildLayered(%v): %v", trial, p, err)
+				}
+				res, err := lay.ShortestPath(src, dst)
+				if err != nil {
+					t.Fatalf("trial %d: ShortestPath(%d,%d | %v): %v", trial, src, dst, p, err)
+				}
+				// Metric-closure concatenation: src → p1 → … → pn → dst.
+				closure := 0.0
+				at := src
+				for _, s := range p {
+					closure += d.Cost(at, s)
+					at = s
+				}
+				closure += d.Cost(at, dst)
+				if fx.exact {
+					if res.Cost != closure {
+						t.Fatalf("trial %d: layered cost %v != metric closure %v for (%d,%d | %v)",
+							trial, res.Cost, closure, src, dst, p)
+					}
+				} else if diff := math.Abs(res.Cost - closure); diff > 1e-9*math.Max(1, closure) {
+					t.Fatalf("trial %d: layered cost %v vs metric closure %v (diff %v) for (%d,%d | %v)",
+						trial, res.Cost, closure, diff, src, dst, p)
+				}
+				// The projected walk re-prices to the same cost under the
+				// pristine weights and visits the chain in order.
+				if len(res.Gateways) != n {
+					t.Fatalf("trial %d: %d gateways for chain of %d", trial, len(res.Gateways), n)
+				}
+				for j, gw := range res.Gateways {
+					if gw != p[j] {
+						t.Fatalf("trial %d: gateway %d is %d, want %d", trial, j, gw, p[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package sfcroute
+
+import (
+	"math"
+	"testing"
+
+	"vnfopt/internal/graph"
+	"vnfopt/internal/model"
+	"vnfopt/internal/routing"
+	"vnfopt/internal/topology"
+)
+
+func TestMaxFlowLinearBottleneck(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	res, err := MaxFlow(topo.Graph, nil, 0, 3, routing.UniformCapacity(5))
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("flow %v, want 5 (single path, uniform capacity)", res.Flow)
+	}
+	if res.Cost != 15 {
+		t.Fatalf("cost %v, want 15 (5 units × 3 unit-weight hops)", res.Cost)
+	}
+}
+
+func TestMaxFlowSplitsAcrossParallelPaths(t *testing.T) {
+	topo, err := topology.Ring(4, nil)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	src, dst := topo.Hosts[0], topo.Hosts[2]
+	// Host links are wide, switch links narrow: the flow must split over
+	// both sides of the ring to beat a single path.
+	capOf := func(l routing.Link) float64 {
+		if l.U >= 4 || l.V >= 4 {
+			return 10 // host attachment
+		}
+		return 3 // ring segment
+	}
+	res, err := MaxFlow(topo.Graph, nil, src, dst, capOf)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if res.Flow != 6 {
+		t.Fatalf("flow %v, want 6 (3 per ring side)", res.Flow)
+	}
+}
+
+func TestMaxFlowRelaxationIsPerLayer(t *testing.T) {
+	// Star spur chain: the only site sits on a spur, so any unsplittable
+	// routing crosses the spur link twice and the true shared-capacity
+	// flow is cap/2. The relaxation prices the two crossings in separate
+	// layers and reports the full cap — strictly optimistic, which is
+	// the sound direction for rejection proofs.
+	d := starTopo(t)
+	res, err := MaxFlow(d, [][]int{{3}}, 0, 2, routing.UniformCapacity(5))
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("relaxation bound %v, want 5 (per-layer capacities)", res.Flow)
+	}
+	// MinCostRoute makes the overcommit visible: the spur link's summed
+	// assignment is twice its capacity.
+	mc, assign, err := MinCostRoute(d, [][]int{{3}}, 0, 2, 5, routing.UniformCapacity(5))
+	if err != nil {
+		t.Fatalf("MinCostRoute: %v", err)
+	}
+	if mc.Flow != 5 || mc.Cost != 20 {
+		t.Fatalf("min-cost route %+v, want flow 5 cost 20", mc)
+	}
+	if got := assign[routing.Link{U: 1, V: 3}]; got != 10 {
+		t.Fatalf("spur assignment %v, want 10 (5 units × 2 layers)", got)
+	}
+	if got := assign[routing.Link{U: 0, V: 1}]; got != 5 {
+		t.Fatalf("ingress assignment %v, want 5", got)
+	}
+}
+
+// starTopo builds the bare graph 0-1, 1-2, 1-3 used by relaxation tests.
+func starTopo(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	return g
+}
+
+func TestMaxFlowDegenerateEndpoints(t *testing.T) {
+	topo, err := topology.Linear(1, nil)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	// n=0 with identical endpoints: nothing to route, nothing binds.
+	res, err := MaxFlow(topo.Graph, nil, 0, 0, routing.UniformCapacity(5))
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if !math.IsInf(res.Flow, 1) {
+		t.Fatalf("flow %v, want +Inf", res.Flow)
+	}
+	mc, assign, err := MinCostRoute(topo.Graph, nil, 0, 0, 3, routing.UniformCapacity(5))
+	if err != nil || mc.Flow != 3 || len(assign) != 0 {
+		t.Fatalf("degenerate MinCostRoute: %+v %v %v", mc, assign, err)
+	}
+	// A chain through a site forces real traffic even for src == dst.
+	res, err = MaxFlow(topo.Graph, [][]int{{1}}, 0, 0, routing.UniformCapacity(5))
+	if err != nil {
+		t.Fatalf("chained MaxFlow: %v", err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("chained same-endpoint flow %v, want 5", res.Flow)
+	}
+}
+
+func TestMaxFlowValidation(t *testing.T) {
+	topo, err := topology.Linear(1, nil)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	if _, err := MaxFlow(topo.Graph, [][]int{{}}, 0, 2, routing.UniformCapacity(1)); err == nil {
+		t.Fatal("accepted an empty stage")
+	}
+	if _, err := MaxFlow(topo.Graph, nil, 0, 2, func(routing.Link) float64 { return -1 }); err == nil {
+		t.Fatal("accepted a negative capacity")
+	}
+	if _, _, err := MinCostRoute(topo.Graph, nil, 0, 2, -1, routing.UniformCapacity(1)); err == nil {
+		t.Fatal("accepted a negative amount")
+	}
+}
+
+func TestRouterMaxFlowTracksResidual(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	d := model.MustNew(topo, model.Options{})
+	r, err := NewRouter(d, Config{Capacity: 10})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if _, err := r.MaxFlow(0, 3); err == nil {
+		t.Fatal("MaxFlow before BeginEpoch succeeded")
+	}
+	if err := r.BeginEpoch(nil); err != nil {
+		t.Fatalf("BeginEpoch: %v", err)
+	}
+	before, err := r.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if before.Flow != 10 {
+		t.Fatalf("pristine bound %v, want 10", before.Flow)
+	}
+	if dec, _ := r.Admit(0, 3, 4); !dec.Admitted {
+		t.Fatal("admit failed")
+	}
+	after, err := r.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if after.Flow != 6 {
+		t.Fatalf("residual bound %v, want 6", after.Flow)
+	}
+}

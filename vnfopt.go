@@ -459,6 +459,32 @@ func ResumeEngine(cfg EngineConfig, stateJSON []byte) (*Engine, error) {
 	return engine.ResumeJSON(cfg, stateJSON)
 }
 
+// RoutingConfig enables the engine's per-epoch capacity-aware SFC
+// routing pass (see WithCapacityRouting): link capacity, congestion
+// pricing exponent, admission utilization target, and max-flow
+// rejection classification.
+type RoutingConfig = engine.RoutingConfig
+
+// RoutingReport is the full per-epoch admission/utilization report
+// (Engine.RoutingReport): per-flow decisions, per-link loads, and the
+// saturated-link set.
+type RoutingReport = engine.RoutingReport
+
+// RoutingSummary is the compact admission summary published on
+// EngineSnapshot.Routing and EngineStepResult.Routing.
+type RoutingSummary = engine.RoutingSummary
+
+// FlowDecision is one flow's admission outcome within a RoutingReport.
+type FlowDecision = engine.FlowDecision
+
+// WithCapacityRouting enables the capacity-aware SFC routing pass: each
+// epoch, flows are routed through the committed chain on the layered
+// expansion against residual link capacity, infeasible flows are
+// rejected with a max-flow certificate when rc.Classify is set, and
+// per-link utilization is published (EngineSnapshot.Routing,
+// Engine.RoutingReport, vnfopt_sfcroute_* metrics).
+func WithCapacityRouting(rc RoutingConfig) EngineOption { return engine.WithCapacityRouting(rc) }
+
 // --- Observability ---------------------------------------------------------
 
 // MetricsRegistry is a concurrency-safe get-or-create metrics registry
