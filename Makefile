@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute bench-daemon bench-daemon-full fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute chaos-smoke
+check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute bench-daemon chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,18 @@ bench-apsp-delta:
 # once (results/BENCH_sfcroute.json records the full numbers).
 bench-sfcroute:
 	$(GO) test -run TestDifferentialMetricClosure -bench 'BenchmarkLayered|BenchmarkAdmitSaturated' -benchtime 1x ./internal/sfcroute/
+
+# Control-plane load smoke: internal/loadgen drives the sharded daemon
+# over HTTP (create fleet, per-call ingest, bulk NDJSON ingest, snapshot
+# reads) and asserts every phase moved and bulk beat per-call. The full
+# form scales to 1000+ concurrent scenarios and enforces the >= 10x
+# bulk-over-per-call acceptance bar, writing results/BENCH_daemon.json.
+bench-daemon:
+	$(GO) test -run TestBenchDaemon -v ./cmd/vnfoptd/
+
+bench-daemon-full:
+	VNFOPT_BENCH_FULL=1 VNFOPT_BENCH_OUT=$(CURDIR)/results/BENCH_daemon.json \
+		$(GO) test -run TestBenchDaemon -v -timeout 20m ./cmd/vnfoptd/
 
 # Seeded chaos run under the race detector: a deterministic fault
 # schedule (inject + heal) driven through the online engine next to a

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vnfopt/internal/loadgen"
+)
+
+// TestBenchDaemon load-tests the sharded control plane end to end with
+// internal/loadgen. By default it is a smoke run — a handful of
+// scenarios, enough traffic to prove every phase moves — so it is cheap
+// enough for `make check` and the race detector. Two env vars scale it
+// into the real benchmark:
+//
+//	VNFOPT_BENCH_FULL=1   1000+ concurrent scenarios, the acceptance
+//	                      thresholds (bulk NDJSON ≥ 10x per-call ingest)
+//	VNFOPT_BENCH_OUT=path write the report JSON (results/BENCH_daemon.json)
+//
+// `make bench-daemon` runs the smoke form; `make bench-daemon-full`
+// produces the committed artifact.
+func TestBenchDaemon(t *testing.T) {
+	full := os.Getenv("VNFOPT_BENCH_FULL") != ""
+	out := os.Getenv("VNFOPT_BENCH_OUT")
+
+	srv := newServer()
+	// The harness creates a fleet; per-scenario metric series would make
+	// the registry the bottleneck (and the cardinality is exactly what a
+	// production fleet would disable too, via -scenario-metrics=false).
+	srv.scenarioMetrics = false
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	defer srv.closeAll()
+
+	flows := 40
+	cfg := loadgen.Config{
+		BaseURL:     ts.URL,
+		Scenarios:   8,
+		Concurrency: 8,
+		Flows:       flows,
+		Spec: map[string]any{
+			"topology": "fat-tree",
+			"k":        4,
+			"flows":    flows,
+			"migrator": "nomigration",
+		},
+		PerCallRequests: 128,
+		PerCallBatch:    1,
+		BulkRequests:    4,
+		BulkUpdates:     8192,
+		ReadRequests:    128,
+		Seed:            1,
+	}
+	if full {
+		cfg.Scenarios = 1000
+		cfg.Concurrency = 64
+		cfg.PerCallRequests = 4096
+		cfg.BulkRequests = 16
+		cfg.BulkUpdates = 262144
+		cfg.ReadRequests = 4096
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("create:  %6.0f req/s  p99 %.2fms  (%d scenarios)", rep.Create.RequestsPerSec, rep.Create.P99Ms, rep.Scenarios)
+	t.Logf("percall: %6.0f upd/s  p99 %.2fms  (%d retries)", rep.PerCall.UpdatesPerSec, rep.PerCall.P99Ms, rep.PerCall.Retries)
+	t.Logf("bulk:    %6.0f upd/s  p99 %.2fms  (%.1fx per-call)", rep.Bulk.UpdatesPerSec, rep.Bulk.P99Ms, rep.BulkSpeedup)
+	t.Logf("read:    %6.0f req/s  p99 %.2fms", rep.Read.RequestsPerSec, rep.Read.P99Ms)
+
+	for name, p := range map[string]loadgen.Phase{
+		"create": rep.Create, "percall": rep.PerCall, "bulk": rep.Bulk, "read": rep.Read,
+	} {
+		if p.Errors != 0 {
+			t.Errorf("%s phase: %d errors, last: %s", name, p.Errors, p.LastError)
+		}
+		if p.RequestsPerSec <= 0 {
+			t.Errorf("%s phase: zero throughput", name)
+		}
+	}
+	if rep.PerCall.UpdatesPerSec <= 0 || rep.Bulk.UpdatesPerSec <= 0 {
+		t.Error("ingest throughput not recorded")
+	}
+	// Even the smoke run should show bulk beating per-call; the full run
+	// enforces the acceptance threshold.
+	if rep.BulkSpeedup < 1 {
+		t.Errorf("bulk ingest slower than per-call: %.2fx", rep.BulkSpeedup)
+	}
+	if full {
+		if rep.Scenarios < 1000 {
+			t.Errorf("full run hosted %d scenarios, want >= 1000", rep.Scenarios)
+		}
+		if rep.BulkSpeedup < 10 {
+			t.Errorf("bulk speedup %.1fx, want >= 10x", rep.BulkSpeedup)
+		}
+	}
+
+	if out != "" {
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("bench report written to %s\n", out)
+	}
+}

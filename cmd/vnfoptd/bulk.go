@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"vnfopt/internal/engine"
+	"vnfopt/internal/shard"
+)
+
+// Bulk ingest: POST /v1/scenarios/{id}/rates:bulk carries an arbitrary
+// number of rate updates on one connection, so a million-flow tenant is
+// one request, not a million. Two body formats:
+//
+//   - Content-Type: application/x-ndjson (or application/ndjson) —
+//     newline-delimited JSON, each line either one update
+//     {"flow":7,"rate":1.5} or an array chunk [{...},{...}]. The body
+//     is *streamed*: lines are folded into batches of bulkBatchSize
+//     updates and each batch becomes one mailbox command while the next
+//     lines are still being parsed, so memory stays O(batch), never
+//     O(body), and a connection pushing faster than the shard's run
+//     loop drains is flow-controlled by the bounded mailbox instead of
+//     buffered.
+//   - anything else — the single-call JSON forms: either the /rates
+//     body {"updates":[...],"step":bool} or a bare update array, split
+//     into the same batches.
+//
+// ?step=true (or "step":true in the JSON form) closes the epoch after
+// the final batch. Each batch is atomic (a bad update rejects its whole
+// batch and aborts the stream) but the request is not: batches already
+// executed stay ingested, exactly as if they had arrived as separate
+// /rates calls. The response reports totals plus the per-batch
+// accepted/coalesced/epoch accounting.
+
+// bulkBatchSize is the number of updates folded into one mailbox
+// command. Large enough to amortize the command handoff, small enough
+// that a batch is parsed (and its memory retired) in microseconds.
+const bulkBatchSize = 8192
+
+// maxBulkLine bounds one NDJSON line; an array chunk with more than
+// ~40k updates per line should be split across lines instead.
+const maxBulkLine = 1 << 20
+
+// bulkAccount accumulates per-batch results across mailbox commands.
+// The mutex covers handler-vs-run-loop handoff; contention is one
+// lock per batch, not per update.
+type bulkAccount struct {
+	mu      sync.Mutex
+	batches []engine.IngestResult
+	err     error // first engine rejection, sticky
+}
+
+func (a *bulkAccount) record(res engine.IngestResult, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return
+	}
+	a.batches = append(a.batches, res)
+}
+
+func (a *bulkAccount) failed() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sc := s.get(id)
+	if sc == nil {
+		writeError(w, codeNotFound, "no scenario %q", id)
+		return
+	}
+	step := false
+	switch r.URL.Query().Get("step") {
+	case "", "false", "0":
+	case "true", "1":
+		step = true
+	default:
+		writeError(w, codeBadRequest, "bad step %q (want true or false)", r.URL.Query().Get("step"))
+		return
+	}
+
+	acc := &bulkAccount{}
+	var wg sync.WaitGroup
+	// submit hands one batch to the scenario's run loop. It owns batch
+	// (the caller must not reuse the slice). SubmitCtx blocks while the
+	// mailbox is full — the stream is flow-controlled to the drain rate
+	// — and aborts when the client goes away.
+	ctx := r.Context()
+	submit := func(batch []engine.RateUpdate) error {
+		if err := acc.failed(); err != nil {
+			return err
+		}
+		wg.Add(1)
+		err := sc.actor.SubmitCtx(ctx, func() {
+			defer wg.Done()
+			acc.record(sc.eng.Ingest(batch))
+		})
+		if err != nil {
+			wg.Done()
+		}
+		return err
+	}
+
+	var parseErr error
+	ct := r.Header.Get("Content-Type")
+	if isNDJSON(ct) {
+		parseErr = streamNDJSON(r.Body, submit)
+	} else {
+		parseErr, step = parseBulkJSON(w, r, submit, step)
+	}
+	wg.Wait() // every submitted batch has executed; acc is stable
+
+	switch {
+	case errors.Is(parseErr, shard.ErrClosed):
+		writeError(w, codeNotFound, "scenario %q was deleted", id)
+		return
+	case ctx.Err() != nil:
+		// The client is gone; nothing to answer.
+		return
+	case parseErr != nil && acc.failed() == nil:
+		writeError(w, codeBadRequest, "bulk body: %v", parseErr)
+		return
+	}
+	if err := acc.failed(); err != nil {
+		writeError(w, codeInvalidArgument, "%v", err)
+		return
+	}
+
+	resp := ingestResponse{Batches: acc.batches}
+	for _, b := range acc.batches {
+		resp.Accepted += b.Accepted
+		resp.Coalesced += b.Coalesced
+		resp.Epoch = b.Epoch
+	}
+	if resp.Epoch == 0 {
+		resp.Epoch = sc.eng.Snapshot().Epoch + 1
+	}
+	if step {
+		var stepErr error
+		err := sc.actor.Do(func() {
+			res, err := sc.eng.Step()
+			if err != nil {
+				stepErr = err
+				return
+			}
+			resp.Step = &res
+		})
+		switch {
+		case s.writeActorErr(w, id, err):
+			return
+		case stepErr != nil:
+			writeError(w, codeInternal, "%v", stepErr)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func isNDJSON(contentType string) bool {
+	// Strip any ;charset=... parameter before comparing.
+	if i := bytes.IndexByte([]byte(contentType), ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	switch contentType {
+	case "application/x-ndjson", "application/ndjson":
+		return true
+	}
+	return false
+}
+
+// streamNDJSON reads newline-delimited updates from body, flushing to
+// submit every bulkBatchSize updates. submit errors (client gone,
+// scenario deleted, earlier batch rejected) abort the stream.
+func streamNDJSON(body io.Reader, submit func([]engine.RateUpdate) error) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), maxBulkLine)
+	batch := make([]engine.RateUpdate, 0, bulkBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		out := batch
+		batch = make([]engine.RateUpdate, 0, bulkBatchSize)
+		return submit(out)
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		switch raw[0] {
+		case '[':
+			var chunk []engine.RateUpdate
+			if err := json.Unmarshal(raw, &chunk); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			batch = append(batch, chunk...)
+		default:
+			var u engine.RateUpdate
+			if err := json.Unmarshal(raw, &u); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			batch = append(batch, u)
+		}
+		if len(batch) >= bulkBatchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("line %d exceeds %d bytes; split array chunks across lines", line+1, maxBulkLine)
+		}
+		return err
+	}
+	return flush()
+}
+
+// parseBulkJSON handles the non-streaming body forms: the /rates
+// request object or a bare update array, chunked into the same batches
+// as the NDJSON path. Returns the parse error and the (possibly
+// body-requested) step flag.
+func parseBulkJSON(w http.ResponseWriter, r *http.Request, submit func([]engine.RateUpdate) error, step bool) (error, bool) {
+	// The array form is bounded like every other buffered JSON body,
+	// but bulk arrays are the migration path for clients not yet on
+	// NDJSON — give them 8x the single-call headroom.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8*maxBodyBytes))
+	var probe json.RawMessage
+	if err := dec.Decode(&probe); err != nil {
+		return err, step
+	}
+	var updates []engine.RateUpdate
+	trimmed := bytes.TrimSpace(probe)
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(trimmed, &updates); err != nil {
+			return err, step
+		}
+	} else {
+		var req ratesRequest
+		if err := json.Unmarshal(trimmed, &req); err != nil {
+			return err, step
+		}
+		updates = req.Updates
+		step = step || req.Step
+	}
+	for len(updates) > 0 {
+		n := min(bulkBatchSize, len(updates))
+		if err := submit(append([]engine.RateUpdate(nil), updates[:n]...)); err != nil {
+			return err, step
+		}
+		updates = updates[n:]
+	}
+	return nil, step
+}

@@ -32,6 +32,10 @@ const (
 	// satisfy it (e.g. a fault transition that leaves no feasible
 	// placement). Retry after healing capacity.
 	codeUnavailable errorCode = "unavailable"
+	// codeResourceExhausted: the scenario's command mailbox is full —
+	// ingest is outrunning the shard's run loop. The response carries a
+	// Retry-After header; back off and resend.
+	codeResourceExhausted errorCode = "resource_exhausted"
 )
 
 // httpStatus maps an error code to its HTTP status. Unknown codes are
@@ -48,6 +52,8 @@ func httpStatus(c errorCode) int {
 		return http.StatusConflict
 	case codeUnavailable:
 		return http.StatusServiceUnavailable
+	case codeResourceExhausted:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

@@ -3,33 +3,43 @@
 // an HTTP/JSON API, turning the paper's periodically-executed TOM into a
 // long-running service.
 //
+// The control plane is sharded: each scenario is an actor — a run-loop
+// goroutine owning its engine and consuming a bounded mailbox of
+// ingest/step/fault commands — and scenario lookup is a lock-free
+// copy-on-write registry, so no request ever contends on a server-wide
+// lock. A full mailbox answers 429 with Retry-After (backpressure);
+// streaming bulk ingest is instead flow-controlled to the shard's drain
+// rate.
+//
 // Usage:
 //
 //	vnfoptd -addr :8080 -snapshot /var/lib/vnfoptd/state.json
 //
-// API (see docs/ENGINE.md for the full reference and a curl session):
+// API (see docs/API.md for the full reference and a curl session):
 //
-//	POST   /v1/scenarios                create (or resume) a scenario
-//	GET    /v1/scenarios                list scenarios
-//	DELETE /v1/scenarios/{id}           drop a scenario
-//	POST   /v1/scenarios/{id}/rates     ingest rate deltas (optional step)
-//	POST   /v1/scenarios/{id}/step      close the epoch / run the TOM loop
-//	POST   /v1/scenarios/{id}/faults    inject/heal topology faults (repair)
-//	GET    /v1/scenarios/{id}/faults    active faults + unserved flows
-//	GET    /v1/scenarios/{id}/placement lock-free placement snapshot
-//	GET    /v1/scenarios/{id}/state     durable engine state (JSON)
-//	GET    /v1/scenarios/{id}/metrics   per-scenario engine counters (JSON)
-//	GET    /v1/scenarios/{id}/events    bounded event ring (migrations, errors)
-//	GET    /metrics                     Prometheus text exposition
-//	GET    /healthz                     liveness
-//	GET    /readyz                      readiness (503 while any scenario is degraded)
-//	GET    /debug/pprof/*               profiling (only with -pprof)
+//	POST   /v1/scenarios                  create (or resume) a scenario
+//	GET    /v1/scenarios                  list scenarios (limit/offset/status)
+//	DELETE /v1/scenarios/{id}             drop a scenario (drains its mailbox)
+//	POST   /v1/scenarios/{id}/rates       ingest rate deltas (optional step)
+//	POST   /v1/scenarios/{id}/rates:bulk  streamed NDJSON / JSON-array bulk ingest
+//	POST   /v1/scenarios/{id}/step        close the epoch / run the TOM loop
+//	POST   /v1/scenarios/{id}/faults      inject/heal topology faults (repair)
+//	GET    /v1/scenarios/{id}/faults      active faults + unserved flows
+//	GET    /v1/scenarios/{id}/placement   lock-free placement snapshot
+//	GET    /v1/scenarios/{id}/state       durable engine state (JSON)
+//	GET    /v1/scenarios/{id}/metrics     per-scenario engine counters (JSON)
+//	GET    /v1/scenarios/{id}/events      bounded event ring (migrations, errors)
+//	GET    /metrics                       Prometheus text exposition
+//	GET    /healthz                       liveness + build identification
+//	GET    /readyz                        readiness (503 while any scenario is degraded)
+//	GET    /debug/pprof/*                 profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains in-flight requests (bounded by
-// -drain) and, when -snapshot is set, persists every scenario's engine
-// state; the next boot restores them. With -snapshot set the state is
-// also persisted periodically (-snapshot-every, fsync + atomic rename),
-// so a crash loses at most one interval.
+// -drain), drains and stops every scenario's mailbox, and, when
+// -snapshot is set, persists every scenario's engine state; the next
+// boot restores them. With -snapshot set the state is also persisted
+// periodically (-snapshot-every, fsync + atomic rename), so a crash
+// loses at most one interval.
 package main
 
 import (
@@ -53,6 +63,8 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel  = flag.String("log-level", "info", "slog level: debug, info, warn, or error")
+		mailbox   = flag.Int("mailbox", defaultMailboxCap, "per-scenario command mailbox capacity (backpressure bound)")
+		scMetrics = flag.Bool("scenario-metrics", true, "per-scenario engine metric series (disable for fleets of many thousands of scenarios)")
 	)
 	flag.Parse()
 
@@ -65,6 +77,10 @@ func main() {
 	srv := newServer()
 	srv.log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv.pprofOpen = *pprofFlag
+	if *mailbox > 0 {
+		srv.mailboxCap = *mailbox
+	}
+	srv.scenarioMetrics = *scMetrics
 	if *snapshot != "" {
 		if err := srv.loadSnapshot(*snapshot); err != nil {
 			fmt.Fprintf(os.Stderr, "vnfoptd: restore: %v\n", err)
@@ -107,6 +123,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vnfoptd: drain: %v\n", err)
 		}
 		cancel()
+		// Every in-flight request is done; drain and stop the scenario
+		// run loops so the final snapshot sees fully-settled engines.
+		srv.closeAll()
 		if *snapshot != "" {
 			if err := srv.saveSnapshotRetry(*snapshot, 3, 100*time.Millisecond); err != nil {
 				fmt.Fprintf(os.Stderr, "vnfoptd: snapshot: %v\n", err)

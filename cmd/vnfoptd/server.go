@@ -10,7 +10,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +25,7 @@ import (
 	"vnfopt/internal/model"
 	"vnfopt/internal/obs"
 	"vnfopt/internal/placement"
+	"vnfopt/internal/shard"
 	"vnfopt/internal/stroll"
 	"vnfopt/internal/topology"
 	"vnfopt/internal/workload"
@@ -209,42 +213,87 @@ func buildEngine(spec *ScenarioSpec, reg *obs.Registry, o *engine.Observer) (*en
 	return engine.New(cfg)
 }
 
-// scenario is one hosted engine. The per-scenario mutex serializes step
-// and state calls; snapshot reads go straight to the engine's lock-free
-// path.
+// scenario is one hosted engine plus the actor that owns it: every
+// mutating call (ingest, step, faults, state reads that must order
+// after queued writes) is a command in the actor's bounded mailbox,
+// executed by the scenario's run loop. Snapshot reads bypass the actor
+// entirely via the engine's lock-free atomic pointer.
 type scenario struct {
 	ID      string        `json:"id"`
 	Spec    *ScenarioSpec `json:"spec"`
 	Created time.Time     `json:"created"`
 
-	mu     sync.Mutex
 	eng    *engine.Engine
 	events *obs.EventLog
+	actor  *shard.Actor
 }
 
-// server is the vnfoptd control plane: a registry of scenarios behind an
-// HTTP/JSON API, plus the process-wide metrics registry every scenario
-// publishes into.
+// status classifies the scenario for the list filter.
+func (sc *scenario) status() string {
+	if sc.eng.Snapshot().Degraded {
+		return "degraded"
+	}
+	return "active"
+}
+
+// defaultMailboxCap bounds each scenario's command queue: deep enough
+// that bulk ingest pipelines batches ahead of the run loop, shallow
+// enough that a stuck consumer surfaces as 429 backpressure instead of
+// unbounded memory.
+const defaultMailboxCap = 1024
+
+// server is the vnfoptd control plane: a copy-on-write registry of
+// scenario shards behind an HTTP/JSON API, plus the process-wide
+// metrics registry every scenario publishes into. Request-path lookups
+// (Get/Range) never take a lock; createMu serializes only scenario
+// creation (id assignment + duplicate check).
 type server struct {
-	mu        sync.RWMutex
-	scenarios map[string]*scenario
-	nextID    int
-	start     time.Time
+	scenarios *shard.Map[*scenario]
+
+	createMu sync.Mutex
+	nextID   int // guarded by createMu
+
+	start      time.Time
+	mailboxCap int
+	// scenarioMetrics controls the per-scenario engine observer. On by
+	// default; fleets of thousands of scenarios (the load harness) turn
+	// it off to keep the registry's per-scenario series cardinality from
+	// dominating the run.
+	scenarioMetrics bool
 
 	reg       *obs.Registry
+	rejected  *obs.Counter // mailbox-full 429s
 	log       *slog.Logger
 	pprofOpen bool
 }
 
 func newServer() *server {
 	s := &server{
-		scenarios: make(map[string]*scenario),
-		start:     time.Now(),
-		reg:       obs.NewRegistry(),
-		log:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		scenarios:       shard.NewMap[*scenario](),
+		start:           time.Now(),
+		mailboxCap:      defaultMailboxCap,
+		scenarioMetrics: true,
+		reg:             obs.NewRegistry(),
+		log:             slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
+	s.rejected = s.reg.Counter("vnfoptd_mailbox_rejected_total")
 	s.reg.GaugeFunc("vnfoptd_uptime_seconds", func() float64 {
 		return time.Since(s.start).Seconds()
+	})
+	s.reg.GaugeFunc("vnfoptd_scenarios", func() float64 {
+		return float64(s.scenarios.Len())
+	})
+	// Aggregate mailbox depth across every scenario shard: per-scenario
+	// depth series would multiply cardinality by the fleet size, and the
+	// signal that matters operationally is "is the control plane keeping
+	// up" — the sum.
+	s.reg.GaugeFunc("vnfoptd_mailbox_depth", func() float64 {
+		depth := 0
+		s.scenarios.Range(func(_ string, sc *scenario) bool {
+			depth += sc.actor.Depth()
+			return true
+		})
+		return float64(depth)
 	})
 	// Process-wide search effort: the branch-and-bound engines batch their
 	// expansion counts into package totals; publish them as callback
@@ -276,6 +325,23 @@ func newServer() *server {
 	return s
 }
 
+// newScenario wraps an engine into a scenario shard with a running
+// actor. A panic escaping a command is contained by the actor; it is
+// logged and counted here so it stays visible.
+func (s *server) newScenario(id string, spec *ScenarioSpec, eng *engine.Engine, events *obs.EventLog) *scenario {
+	sc := &scenario{
+		ID: id, Spec: spec, Created: time.Now(),
+		eng: eng, events: events,
+		actor: shard.NewActor(s.mailboxCap),
+	}
+	panics := s.reg.Counter("vnfoptd_actor_panics_total")
+	sc.actor.OnPanic = func(v any) {
+		panics.Inc()
+		s.log.Error("scenario command panicked", slog.String("scenario", id), slog.Any("panic", v))
+	}
+	return sc
+}
+
 // handler builds the route table (Go 1.22 pattern mux). Every route is
 // wrapped in the request middleware (metrics + structured log).
 func (s *server) handler() http.Handler {
@@ -283,15 +349,14 @@ func (s *server) handler() http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime": time.Since(s.start).String()})
-	})
+	route("GET /healthz", s.handleHealth)
 	route("GET /readyz", s.handleReady)
 	route("GET /metrics", s.handleMetrics)
 	route("POST /v1/scenarios", s.handleCreate)
 	route("GET /v1/scenarios", s.handleList)
 	route("DELETE /v1/scenarios/{id}", s.handleDelete)
 	route("POST /v1/scenarios/{id}/rates", s.handleRates)
+	route("POST /v1/scenarios/{id}/rates:bulk", s.handleRatesBulk)
 	route("POST /v1/scenarios/{id}/step", s.handleStep)
 	route("POST /v1/scenarios/{id}/faults", s.handleFaults)
 	route("GET /v1/scenarios/{id}/faults", s.handleFaultsGet)
@@ -310,15 +375,38 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// get resolves a scenario id lock-free.
 func (s *server) get(id string) *scenario {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scenarios[id]
+	sc, _ := s.scenarios.Get(id)
+	return sc
 }
 
-// maxBodyBytes bounds every JSON request body: a well-formed request is
-// a few KB (rate batches scale with flow count, never past a few MB),
-// so 8 MiB rejects pathological bodies before the decoder buffers them.
+// writeActorErr maps a failed command offer to its HTTP answer and
+// reports whether err was non-nil. A full mailbox is backpressure (429
+// + Retry-After); a closed actor means the scenario was deleted while
+// the request held a reference to it (404, same as any other lookup
+// miss).
+func (s *server) writeActorErr(w http.ResponseWriter, id string, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, shard.ErrMailboxFull):
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, codeResourceExhausted, "scenario %q mailbox full, retry later", id)
+	case errors.Is(err, shard.ErrClosed):
+		writeError(w, codeNotFound, "scenario %q was deleted", id)
+	default:
+		writeError(w, codeInternal, "scenario %q: %v", id, err)
+	}
+	return true
+}
+
+// maxBodyBytes bounds every non-streaming JSON request body: a
+// well-formed request is a few KB (rate batches scale with flow count,
+// never past a few MB), so 8 MiB rejects pathological bodies before the
+// decoder buffers them. The NDJSON bulk path is exempt — it streams
+// line by line with a per-line bound instead of a body bound.
 const maxBodyBytes = 8 << 20
 
 func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -329,16 +417,17 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, codeBadRequest, "bad scenario spec: %v", err)
 		return
 	}
-	// The whole create — id check, engine build, insert — runs under the
-	// server mutex, so two concurrent creates with the same explicit id
-	// cannot both pass the duplicate check (the old check-then-insert
-	// race). Creates are rare; blocking the registry while the engine
-	// builds is the price of atomicity.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The whole create — id assignment, engine build, insert — runs
+	// under createMu, so two concurrent creates with the same explicit
+	// id cannot both pass the duplicate check. Creates are rare;
+	// serializing them costs nothing, and unlike the old server-wide
+	// RWMutex it blocks no lookup: Get/Range read the copy-on-write
+	// registry lock-free throughout.
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
 	id := spec.ID
 	if id != "" {
-		if _, dup := s.scenarios[id]; dup {
+		if _, dup := s.scenarios.Get(id); dup {
 			writeError(w, codeConflict, "scenario %q already exists", id)
 			return
 		}
@@ -346,19 +435,23 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		for {
 			s.nextID++
 			id = fmt.Sprintf("s%d", s.nextID)
-			if _, dup := s.scenarios[id]; !dup {
+			if _, dup := s.scenarios.Get(id); !dup {
 				break
 			}
 		}
 	}
 	events := obs.NewEventLog(0)
-	eng, err := buildEngine(&spec, s.reg, engine.NewObserver(s.reg, events, id))
+	var o *engine.Observer
+	if s.scenarioMetrics {
+		o = engine.NewObserver(s.reg, events, id)
+	}
+	eng, err := buildEngine(&spec, s.reg, o)
 	if err != nil {
 		writeError(w, codeInvalidArgument, "scenario: %v", err)
 		return
 	}
-	sc := &scenario{ID: id, Spec: &spec, Created: time.Now(), eng: eng, events: events}
-	s.scenarios[id] = sc
+	sc := s.newScenario(id, &spec, eng, events)
+	s.scenarios.Insert(id, sc)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       id,
 		"flows":    eng.Flows(),
@@ -367,41 +460,90 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleList serves the scenario listing with pagination and an
+// optional status filter:
+//
+//	GET /v1/scenarios?limit=50&offset=100&status=degraded
+//
+// The envelope is {"scenarios": [...], "total": N, "limit": L,
+// "offset": O}: total counts the scenarios matching the filter before
+// pagination, so a client can page through a live fleet; limit ≤ 0 (or
+// absent) returns everything from offset on.
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	ids := make([]string, 0, len(s.scenarios))
-	for id := range s.scenarios {
-		ids = append(ids, id)
+	q := r.URL.Query()
+	limit, offset := 0, 0
+	var err error
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, codeBadRequest, "bad limit %q", v)
+			return
+		}
 	}
-	s.mu.RUnlock()
-	sort.Strings(ids)
-	out := make([]map[string]any, 0, len(ids))
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			writeError(w, codeBadRequest, "bad offset %q", v)
+			return
+		}
+	}
+	status := q.Get("status")
+	if status != "" && status != "active" && status != "degraded" {
+		writeError(w, codeBadRequest, "bad status %q (want active or degraded)", status)
+		return
+	}
+
+	ids := s.scenarios.Keys()
+	matched := make([]*scenario, 0, len(ids))
 	for _, id := range ids {
 		sc := s.get(id)
 		if sc == nil {
 			continue
 		}
+		if status != "" && sc.status() != status {
+			continue
+		}
+		matched = append(matched, sc)
+	}
+	total := len(matched)
+	if offset > len(matched) {
+		matched = nil
+	} else {
+		matched = matched[offset:]
+	}
+	if limit > 0 && limit < len(matched) {
+		matched = matched[:limit]
+	}
+	out := make([]map[string]any, 0, len(matched))
+	for _, sc := range matched {
 		out = append(out, map[string]any{
 			"id":       sc.ID,
 			"name":     sc.Spec.Name,
 			"created":  sc.Created,
+			"status":   sc.status(),
 			"snapshot": sc.eng.Snapshot(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenarios": out,
+		"total":     total,
+		"limit":     limit,
+		"offset":    offset,
+	})
 }
 
+// handleDelete removes the scenario from the registry (new requests see
+// 404 immediately) and then drains its mailbox: commands already
+// accepted still run, their waiting callers get answers, and only then
+// is the deletion acknowledged.
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.scenarios[id]
-	delete(s.scenarios, id)
-	s.mu.Unlock()
+	sc, ok := s.scenarios.Delete(id)
 	if !ok {
 		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	drained := sc.actor.Depth()
+	sc.actor.Close()
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "drained": drained})
 }
 
 // ratesRequest is the delta-ingest body: a batch of per-flow rate updates,
@@ -412,10 +554,23 @@ type ratesRequest struct {
 	Step bool `json:"step"`
 }
 
+// ingestResponse is the shared response of POST /rates and the bulk
+// endpoint: the engine's accepted/coalesced/epoch accounting, plus the
+// per-batch breakdown and the optional step result.
+type ingestResponse struct {
+	engine.IngestResult
+	// Batches is the per-batch accounting (bulk endpoint only; the
+	// single-call endpoint is one batch by construction).
+	Batches []engine.IngestResult `json:"batches,omitempty"`
+	// Step is the result of the epoch close requested with the ingest.
+	Step *engine.StepResult `json:"step,omitempty"`
+}
+
 func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
-	sc := s.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	sc := s.get(id)
 	if sc == nil {
-		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
 	var req ratesRequest
@@ -423,39 +578,65 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		writeError(w, codeBadRequest, "bad rates body: %v", err)
 		return
 	}
-	n, err := sc.eng.OfferRates(req.Updates)
-	if err != nil {
-		writeError(w, codeInvalidArgument, "%v", err)
-		return
-	}
-	resp := map[string]any{"accepted": n}
-	if req.Step {
-		sc.mu.Lock()
-		res, err := sc.eng.Step()
-		sc.mu.Unlock()
-		if err != nil {
-			writeError(w, codeInternal, "%v", err)
+	var (
+		resp    ingestResponse
+		ingErr  error
+		stepErr error
+	)
+	err := sc.actor.Do(func() {
+		resp.IngestResult, ingErr = sc.eng.Ingest(req.Updates)
+		if ingErr != nil || !req.Step {
 			return
 		}
-		resp["step"] = res
+		res, err := sc.eng.Step()
+		if err != nil {
+			stepErr = err
+			return
+		}
+		resp.Step = &res
+	})
+	switch {
+	case s.writeActorErr(w, id, err):
+		return
+	case ingErr != nil:
+		writeError(w, codeInvalidArgument, "%v", ingErr)
+		return
+	case stepErr != nil:
+		writeError(w, codeInternal, "%v", stepErr)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// stepResponse is the StepResult plus the shard's queue accounting: how
+// many commands were sitting in the mailbox when the step was
+// submitted — all of them (ingest batches, fault events) execute before
+// the step does, so this is the backlog the epoch close drained.
+type stepResponse struct {
+	engine.StepResult
+	QueueDrained int `json:"queue_drained"`
+}
+
 func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
-	sc := s.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	sc := s.get(id)
 	if sc == nil {
-		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
-	sc.mu.Lock()
-	res, err := sc.eng.Step()
-	sc.mu.Unlock()
-	if err != nil {
-		writeError(w, codeInternal, "%v", err)
+	resp := stepResponse{QueueDrained: sc.actor.Depth()}
+	var stepErr error
+	err := sc.actor.Do(func() {
+		resp.StepResult, stepErr = sc.eng.Step()
+	})
+	switch {
+	case s.writeActorErr(w, id, err):
+		return
+	case stepErr != nil:
+		writeError(w, codeInternal, "%v", stepErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // faultsRequest is the topology-event body: faults to inject and faults
@@ -470,9 +651,10 @@ type faultsRequest struct {
 // migration. An infeasible transition (no surviving placement) is
 // rejected with 503 unavailable and leaves the scenario untouched.
 func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	sc := s.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	sc := s.get(id)
 	if sc == nil {
-		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
 	var req faultsRequest
@@ -482,15 +664,22 @@ func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, codeBadRequest, "bad faults body: %v", err)
 		return
 	}
-	sc.mu.Lock()
-	res, err := sc.eng.ApplyFaults(r.Context(), req.Inject, req.Heal)
-	sc.mu.Unlock()
+	var (
+		res      *engine.FaultResult
+		faultErr error
+	)
+	ctx := r.Context()
+	err := sc.actor.Do(func() {
+		res, faultErr = sc.eng.ApplyFaults(ctx, req.Inject, req.Heal)
+	})
 	switch {
-	case errors.Is(err, engine.ErrInfeasible):
-		writeError(w, codeUnavailable, "%v", err)
+	case s.writeActorErr(w, id, err):
 		return
-	case err != nil:
-		writeError(w, codeInvalidArgument, "%v", err)
+	case errors.Is(faultErr, engine.ErrInfeasible):
+		writeError(w, codeUnavailable, "%v", faultErr)
+		return
+	case faultErr != nil:
+		writeError(w, codeInvalidArgument, "%v", faultErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -513,24 +702,54 @@ func (s *server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealth is the liveness probe. The build block identifies the
+// deployment: module version, VCS revision/time/dirty flag when the
+// binary was built from a checkout, and the Go toolchain.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"uptime": time.Since(s.start).String(),
+		"build":  buildInfo(),
+	})
+}
+
+// buildInfo extracts the identifying fields of debug.ReadBuildInfo
+// once; test binaries and `go run` builds simply carry fewer fields.
+var buildInfo = sync.OnceValue(func() map[string]string {
+	out := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, set := range bi.Settings {
+		switch set.Key {
+		case "vcs.revision":
+			out["revision"] = set.Value
+		case "vcs.time":
+			out["vcs_time"] = set.Value
+		case "vcs.modified":
+			out["dirty"] = set.Value
+		}
+	}
+	return out
+})
+
 // handleReady is the readiness probe: 200 while every scenario serves
 // its full fabric, 503 (with the degraded scenario ids) while any is in
 // degraded mode. Liveness (/healthz) stays green either way.
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	ids := make([]string, 0, len(s.scenarios))
-	for id := range s.scenarios {
-		ids = append(ids, id)
-	}
-	s.mu.RUnlock()
-	sort.Strings(ids)
 	var degraded []string
-	for _, id := range ids {
-		if sc := s.get(id); sc != nil && sc.eng.Snapshot().Degraded {
+	s.scenarios.Range(func(id string, sc *scenario) bool {
+		if sc.eng.Snapshot().Degraded {
 			degraded = append(degraded, id)
 		}
-	}
+		return true
+	})
 	if len(degraded) > 0 {
+		sort.Strings(degraded)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "degraded": degraded})
 		return
 	}
@@ -564,15 +783,22 @@ func (s *server) handleRouting(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"id": sc.ID, "routing": rep})
 }
 
+// handleState serves the durable engine state. It goes through the
+// actor so the state a client reads reflects every command it enqueued
+// before asking (read-your-writes for a bulk ingest followed by a state
+// capture).
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
-	sc := s.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	sc := s.get(id)
 	if sc == nil {
-		writeError(w, codeNotFound, "no scenario %q", r.PathValue("id"))
+		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
-	sc.mu.Lock()
-	st := sc.eng.State()
-	sc.mu.Unlock()
+	var st *engine.State
+	err := sc.actor.Do(func() { st = sc.eng.State() })
+	if s.writeActorErr(w, id, err) {
+		return
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -616,6 +842,16 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// closeAll drains every scenario's mailbox and stops its run loop; part
+// of graceful shutdown, after the HTTP listener has stopped accepting
+// requests and before the final snapshot is captured.
+func (s *server) closeAll() {
+	s.scenarios.Range(func(_ string, sc *scenario) bool {
+		sc.actor.Close()
+		return true
+	})
+}
+
 // persistedScenario is the on-disk form of one scenario in the daemon's
 // snapshot file: the spec with the engine state embedded, so loading is
 // exactly a sequence of create-with-state calls.
@@ -626,24 +862,19 @@ type persistedScenario struct {
 
 // saveSnapshot writes every scenario's spec+state to path via
 // writeFileAtomic (fsync + rename), so a crash mid-write never tears
-// the snapshot.
+// the snapshot. State is captured directly from each engine (whose own
+// lock serializes against the scenario's run loop), so a snapshot can
+// be taken at any moment — mid-drain, mid-ingest — and still sees a
+// consistent per-scenario state.
 func (s *server) saveSnapshot(path string) error {
-	s.mu.RLock()
-	ids := make([]string, 0, len(s.scenarios))
-	for id := range s.scenarios {
-		ids = append(ids, id)
-	}
-	s.mu.RUnlock()
-	sort.Strings(ids)
+	ids := s.scenarios.Keys()
 	out := make([]persistedScenario, 0, len(ids))
 	for _, id := range ids {
 		sc := s.get(id)
 		if sc == nil {
-			continue
+			continue // deleted since the Keys snapshot
 		}
-		sc.mu.Lock()
 		blob, err := sc.eng.MarshalState()
-		sc.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", id, err)
 		}
@@ -672,21 +903,27 @@ func (s *server) loadSnapshot(path string) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
 	for _, ps := range in {
 		events := obs.NewEventLog(0)
-		eng, err := buildEngine(ps.Spec, s.reg, engine.NewObserver(s.reg, events, ps.ID))
+		var o *engine.Observer
+		if s.scenarioMetrics {
+			o = engine.NewObserver(s.reg, events, ps.ID)
+		}
+		eng, err := buildEngine(ps.Spec, s.reg, o)
 		if err != nil {
 			return fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
 		}
-		s.mu.Lock()
-		s.scenarios[ps.ID] = &scenario{ID: ps.ID, Spec: ps.Spec, Created: time.Now(), eng: eng, events: events}
+		if !s.scenarios.Insert(ps.ID, s.newScenario(ps.ID, ps.Spec, eng, events)) {
+			return fmt.Errorf("snapshot scenario %s: duplicate id", ps.ID)
+		}
 		if n := len(ps.ID); n > 1 && ps.ID[0] == 's' {
 			var num int
 			if _, err := fmt.Sscanf(ps.ID[1:], "%d", &num); err == nil && num > s.nextID {
 				s.nextID = num
 			}
 		}
-		s.mu.Unlock()
 	}
 	return nil
 }

@@ -366,17 +366,31 @@ func (e *Engine) MigratorName() string { return e.mig.Name() }
 // Flows returns the number of flows the engine addresses.
 func (e *Engine) Flows() int { return len(e.cfg.Base) }
 
-// OfferRates ingests a batch of rate updates into the pending set of the
-// next epoch, coalescing repeated updates to one flow (last write wins).
-// It returns the number of updates accepted. The whole batch is validated
-// before any of it lands, so a bad update never half-applies a batch.
-func (e *Engine) OfferRates(updates []RateUpdate) (int, error) {
+// IngestResult accounts for one accepted batch of rate updates. It is
+// the shared response body of the daemon's single-call and bulk ingest
+// endpoints, so both report the same accepted/coalesced/epoch triple.
+type IngestResult struct {
+	// Accepted is the number of updates that landed in the pending set.
+	Accepted int `json:"accepted"`
+	// Coalesced is the subset of Accepted that overwrote a pending
+	// update to the same flow (last write wins) before the epoch closed.
+	Coalesced int `json:"coalesced"`
+	// Epoch is the epoch the batch will fold into — the one the next
+	// Step completes (current completed epoch + 1).
+	Epoch int `json:"epoch"`
+}
+
+// Ingest folds a batch of rate updates into the pending set of the next
+// epoch, coalescing repeated updates to one flow (last write wins), and
+// returns the batch accounting. The whole batch is validated before any
+// of it lands, so a bad update never half-applies a batch.
+func (e *Engine) Ingest(updates []RateUpdate) (IngestResult, error) {
 	for _, u := range updates {
 		if u.Flow < 0 || u.Flow >= len(e.cfg.Base) {
-			return 0, fmt.Errorf("engine: flow %d out of range [0,%d)", u.Flow, len(e.cfg.Base))
+			return IngestResult{}, fmt.Errorf("engine: flow %d out of range [0,%d)", u.Flow, len(e.cfg.Base))
 		}
 		if u.Rate < 0 || math.IsNaN(u.Rate) || math.IsInf(u.Rate, 0) {
-			return 0, fmt.Errorf("engine: flow %d: invalid rate %v", u.Flow, u.Rate)
+			return IngestResult{}, fmt.Errorf("engine: flow %d: invalid rate %v", u.Flow, u.Rate)
 		}
 	}
 	e.mu.Lock()
@@ -391,7 +405,14 @@ func (e *Engine) OfferRates(updates []RateUpdate) (int, error) {
 	e.met.UpdatesAccepted += int64(len(updates))
 	e.met.UpdatesCoalesced += int64(coalesced)
 	e.obs.observeIngest(len(updates), coalesced)
-	return len(updates), nil
+	return IngestResult{Accepted: len(updates), Coalesced: coalesced, Epoch: e.epoch + 1}, nil
+}
+
+// OfferRates is Ingest reduced to the accepted count, kept for existing
+// callers (the simulator, the chaos harness, examples).
+func (e *Engine) OfferRates(updates []RateUpdate) (int, error) {
+	res, err := e.Ingest(updates)
+	return res.Accepted, err
 }
 
 // Step closes the current epoch: it folds the pending updates into the

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubDaemon fakes just enough of the vnfoptd API surface for the
+// generator: it records what arrived so the test can assert the
+// generator sent what its config promised.
+type stubDaemon struct {
+	mu          sync.Mutex
+	created     []string
+	perCallHits int
+	bulkHits    int
+	bulkUpdates int
+	readHits    atomic.Int64
+	// reject429 makes the next n /rates calls answer 429, exercising the
+	// generator's retry path.
+	reject429 atomic.Int64
+}
+
+func (d *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		var spec map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		d.mu.Lock()
+		d.created = append(d.created, spec["id"].(string))
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("POST /v1/scenarios/{id}/rates", func(w http.ResponseWriter, r *http.Request) {
+		if d.reject429.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		d.mu.Lock()
+		d.perCallHits++
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/scenarios/{id}/rates:bulk", func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			http.Error(w, "want ndjson, got "+ct, 400)
+			return
+		}
+		n := 0
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var chunk []json.RawMessage
+			if err := json.Unmarshal([]byte(line), &chunk); err != nil {
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			n += len(chunk)
+		}
+		d.mu.Lock()
+		d.bulkHits++
+		d.bulkUpdates += n
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/scenarios/{id}/placement", func(w http.ResponseWriter, r *http.Request) {
+		d.readHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	stub := &stubDaemon{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:         ts.URL,
+		Scenarios:       4,
+		Concurrency:     4,
+		Flows:           10,
+		PerCallRequests: 20,
+		PerCallBatch:    2,
+		BulkRequests:    3,
+		BulkUpdates:     2500, // forces multiple NDJSON lines per stream
+		ReadRequests:    15,
+		Seed:            42,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Create.Errors+rep.PerCall.Errors+rep.Bulk.Errors+rep.Read.Errors != 0 {
+		t.Fatalf("errors in report: %+v", rep)
+	}
+	if len(stub.created) != 4 {
+		t.Fatalf("created %d scenarios, want 4", len(stub.created))
+	}
+	if stub.perCallHits != 20 || rep.PerCall.Updates != 40 {
+		t.Fatalf("per-call: %d hits, %d updates", stub.perCallHits, rep.PerCall.Updates)
+	}
+	if stub.bulkHits != 3 || stub.bulkUpdates != 3*2500 {
+		t.Fatalf("bulk: %d hits, %d updates", stub.bulkHits, stub.bulkUpdates)
+	}
+	if rep.Bulk.Updates != 3*2500 {
+		t.Fatalf("bulk report updates = %d", rep.Bulk.Updates)
+	}
+	if got := stub.readHits.Load(); got != 15 {
+		t.Fatalf("reads = %d", got)
+	}
+	for _, p := range []Phase{rep.Create, rep.PerCall, rep.Bulk, rep.Read} {
+		if p.RequestsPerSec <= 0 || p.P99Ms < p.P50Ms || p.MaxMs < p.P99Ms {
+			t.Fatalf("implausible phase: %+v", p)
+		}
+	}
+}
+
+func TestRunRetries429(t *testing.T) {
+	stub := &stubDaemon{}
+	stub.reject429.Store(3)
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:         ts.URL,
+		Scenarios:       1,
+		Concurrency:     1,
+		PerCallRequests: 5,
+		BulkRequests:    1,
+		BulkUpdates:     10,
+		ReadRequests:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerCall.Errors != 0 {
+		t.Fatalf("backpressure should be retried, not errored: %+v", rep.PerCall)
+	}
+	if rep.PerCall.Retries < 3 {
+		t.Fatalf("retries = %d, want >= 3", rep.PerCall.Retries)
+	}
+	if rep.PerCall.Updates != 5 {
+		t.Fatalf("updates = %d, want 5", rep.PerCall.Updates)
+	}
+}
+
+func TestRunRequiresBaseURL(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("expected error for missing BaseURL")
+	}
+}

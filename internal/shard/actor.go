@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrMailboxFull is returned by Submit (and Do) when the actor's
+// bounded mailbox has no room. The caller owns the backpressure policy;
+// the daemon answers 429 with Retry-After.
+var ErrMailboxFull = errors.New("shard: mailbox full")
+
+// ErrClosed is returned when a command is offered to an actor that has
+// been closed (scenario deleted or daemon draining).
+var ErrClosed = errors.New("shard: actor closed")
+
+// Actor is a run loop that owns one shard's state. Commands are plain
+// closures: they are enqueued into a bounded FIFO mailbox and executed
+// one at a time, in submission order, by a single goroutine — so
+// everything a command touches is serialized without any further
+// locking, and a sequence of commands produces bit-identical state to
+// running the same closures inline.
+//
+// Close drains: commands already accepted into the mailbox still run,
+// then the goroutine exits. Commands offered after Close fail with
+// ErrClosed.
+type Actor struct {
+	mu     sync.RWMutex // guards closed vs. sends into mbox
+	mbox   chan func()
+	closed bool
+	done   chan struct{}
+	depth  atomic.Int64
+
+	// OnPanic, when non-nil, receives the value of a panic that escaped
+	// a command; the run loop survives it. Set it before submitting
+	// commands. Do additionally converts the panic into its own error
+	// return. A nil OnPanic still contains the panic (the daemon must
+	// not die because one scenario's solver did).
+	OnPanic func(v any)
+}
+
+// NewActor starts an actor whose mailbox holds up to capacity pending
+// commands (capacity < 1 is treated as 1).
+func NewActor(capacity int) *Actor {
+	if capacity < 1 {
+		capacity = 1
+	}
+	a := &Actor{
+		mbox: make(chan func(), capacity),
+		done: make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+func (a *Actor) run() {
+	defer close(a.done)
+	for fn := range a.mbox {
+		a.runOne(fn)
+		a.depth.Add(-1)
+	}
+}
+
+// runOne executes one command with panic containment: a panicking
+// command must not kill the run loop (and with it every queued caller).
+func (a *Actor) runOne(fn func()) {
+	defer func() {
+		if v := recover(); v != nil && a.OnPanic != nil {
+			a.OnPanic(v)
+		}
+	}()
+	fn()
+}
+
+// Submit enqueues fn without blocking. ErrMailboxFull when the mailbox
+// is at capacity, ErrClosed after Close.
+func (a *Actor) Submit(fn func()) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return ErrClosed
+	}
+	select {
+	case a.mbox <- fn:
+		a.depth.Add(1)
+		return nil
+	default:
+		return ErrMailboxFull
+	}
+}
+
+// SubmitCtx enqueues fn, blocking while the mailbox is full until space
+// frees up or ctx is done. This is the flow-control path for streaming
+// ingest: one connection pushing batches faster than the run loop
+// drains them is slowed to the drain rate instead of rejected.
+func (a *Actor) SubmitCtx(ctx context.Context, fn func()) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return ErrClosed
+	}
+	select {
+	case a.mbox <- fn:
+		a.depth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do submits fn and waits for it to finish executing. A panic inside fn
+// is contained and returned as an error (after OnPanic, when set).
+func (a *Actor) Do(fn func()) error {
+	done := make(chan struct{})
+	var pErr error
+	if err := a.Submit(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				pErr = fmt.Errorf("shard: command panicked: %v", v)
+				if a.OnPanic != nil {
+					a.OnPanic(v)
+				}
+			}
+			close(done)
+		}()
+		fn()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return pErr
+}
+
+// Depth is the number of submitted commands not yet fully processed
+// (queued plus the one executing, if any).
+func (a *Actor) Depth() int { return int(a.depth.Load()) }
+
+// Close marks the actor closed, lets every already-accepted command
+// run, and waits for the run loop to exit. Idempotent.
+func (a *Actor) Close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.mbox)
+	}
+	a.mu.Unlock()
+	<-a.done
+}

@@ -1,0 +1,109 @@
+// Package shard provides the building blocks of the daemon's sharded
+// control plane (cmd/vnfoptd): a copy-on-write Map for lock-free
+// scenario lookup on the request path, and a bounded-mailbox Actor
+// whose run loop owns one scenario's engine and consumes its
+// ingest/step/fault commands in FIFO order.
+//
+// The shapes are deliberately mechanism-only: Map knows nothing about
+// scenarios and Actor nothing about engines, so both are testable in
+// isolation and the daemon's semantics (backpressure → 429, drain on
+// delete, bit-identical serialization of commands) live in one place,
+// the HTTP layer.
+package shard
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Map is a copy-on-write string-keyed map: reads are a single atomic
+// pointer load (no lock, no contention with writers), writers are
+// serialized by a mutex and publish a fresh copy of the map. The right
+// trade for a scenario registry — lookups happen on every request,
+// inserts and deletes only when scenarios are created or dropped.
+//
+// The zero value is not usable; call NewMap.
+type Map[V any] struct {
+	mu sync.Mutex
+	p  atomic.Pointer[map[string]V]
+}
+
+// NewMap returns an empty copy-on-write map.
+func NewMap[V any]() *Map[V] {
+	m := &Map[V]{}
+	empty := make(map[string]V)
+	m.p.Store(&empty)
+	return m
+}
+
+// Get returns the value under key. Lock-free: safe to call at any
+// frequency concurrently with writers.
+func (m *Map[V]) Get(key string) (V, bool) {
+	v, ok := (*m.p.Load())[key]
+	return v, ok
+}
+
+// Len returns the number of entries in the current published map.
+func (m *Map[V]) Len() int { return len(*m.p.Load()) }
+
+// Insert adds key → v and reports whether it did; a live key is left
+// untouched and Insert returns false.
+func (m *Map[V]) Insert(key string, v V) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.p.Load()
+	if _, dup := old[key]; dup {
+		return false
+	}
+	next := make(map[string]V, len(old)+1)
+	for k, val := range old {
+		next[k] = val
+	}
+	next[key] = v
+	m.p.Store(&next)
+	return true
+}
+
+// Delete removes key, returning the removed value and whether it was
+// present.
+func (m *Map[V]) Delete(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.p.Load()
+	v, ok := old[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	next := make(map[string]V, len(old)-1)
+	for k, val := range old {
+		if k != key {
+			next[k] = val
+		}
+	}
+	m.p.Store(&next)
+	return v, true
+}
+
+// Range calls f over one consistent snapshot of the map (the copy
+// published at the time of the call) until f returns false. Mutations
+// during the walk affect later snapshots, never this one.
+func (m *Map[V]) Range(f func(key string, v V) bool) {
+	for k, v := range *m.p.Load() {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// Keys returns the sorted keys of the current snapshot.
+func (m *Map[V]) Keys() []string {
+	snap := *m.p.Load()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -76,6 +76,24 @@ func TestSummarizeSinglePoint(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+		{0.1, 14}, {0.99, 49.6},
+	} {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-point quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("degenerate quantiles should be NaN")
+	}
+}
+
 func TestMeanBoundsProperty(t *testing.T) {
 	f := func(xs []float64) bool {
 		finite := xs[:0]
