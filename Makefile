@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute bench-daemon bench-daemon-full fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute bench-daemon bench-daemon-full bench-wal bench-wal-full crash-smoke fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute bench-daemon chaos-smoke
+check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute bench-daemon bench-wal chaos-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,26 @@ bench-daemon-full:
 	VNFOPT_BENCH_FULL=1 VNFOPT_BENCH_OUT=$(CURDIR)/results/BENCH_daemon.json \
 		$(GO) test -run TestBenchDaemon -v -timeout 20m ./cmd/vnfoptd/
 
+# WAL overhead + crash/restart smoke: the loadgen workload against a
+# no-WAL baseline and both fsync policies, with a hard filesystem kill
+# and recovery in every WAL arm (acked updates must all survive under
+# `always`). The full form enforces the <= 20% group-commit overhead
+# bar and writes results/BENCH_wal.json.
+bench-wal:
+	$(GO) test -run TestBenchWAL -v ./cmd/vnfoptd/
+
+bench-wal-full:
+	VNFOPT_BENCH_FULL=1 VNFOPT_BENCH_OUT=$(CURDIR)/results/BENCH_wal.json \
+		$(GO) test -run TestBenchWAL -v -timeout 20m ./cmd/vnfoptd/
+
+# Crash-injection matrix under the race detector: kill the filesystem
+# at every I/O boundary of a live workload (both clean and torn-write
+# flavors) and demand bit-identical recovery, plus the replay-abort and
+# compaction-race invariants.
+crash-smoke:
+	$(GO) test -race -run 'TestCrashInjectionBitIdentical|TestRecoveryCancelLeavesLogIntact|TestSnapshotCompactionRacesIngest|TestWALDeleteAtomicity' ./cmd/vnfoptd/
+	$(GO) test -race ./internal/wal/ ./internal/failfs/
+
 # Seeded chaos run under the race detector: a deterministic fault
 # schedule (inject + heal) driven through the online engine next to a
 # fault-free reference, checking the resilience invariants every epoch
@@ -92,3 +112,4 @@ fuzz:
 	$(GO) test -fuzz FuzzIncrementalAPSP -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzParallelKernel -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzMinCostFlow -fuzztime 30s -run xxx ./internal/mcf/
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s -run xxx ./internal/wal/

@@ -12,6 +12,7 @@ import (
 
 	"vnfopt/internal/engine"
 	"vnfopt/internal/shard"
+	"vnfopt/internal/wal"
 )
 
 // Bulk ingest: POST /v1/scenarios/{id}/rates:bulk carries an arbitrary
@@ -54,6 +55,7 @@ type bulkAccount struct {
 	mu      sync.Mutex
 	batches []engine.IngestResult
 	err     error // first engine rejection, sticky
+	walErr  error // first WAL append failure, sticky (500, not 422)
 }
 
 func (a *bulkAccount) record(res engine.IngestResult, err error) {
@@ -68,10 +70,27 @@ func (a *bulkAccount) record(res engine.IngestResult, err error) {
 	a.batches = append(a.batches, res)
 }
 
+func (a *bulkAccount) recordWAL(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.walErr == nil {
+		a.walErr = err
+	}
+}
+
 func (a *bulkAccount) failed() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.walErr != nil {
+		return a.walErr
+	}
 	return a.err
+}
+
+func (a *bulkAccount) failedWAL() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.walErr
 }
 
 func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
@@ -105,6 +124,18 @@ func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		err := sc.actor.SubmitCtx(ctx, func() {
 			defer wg.Done()
+			// Validate → WAL append → apply, same discipline as /rates: a
+			// batch is only acknowledged (counted in the 200 response)
+			// once its record is in the log, and a rejected batch never
+			// pollutes the log.
+			if err := sc.eng.ValidateRates(batch); err != nil {
+				acc.record(engine.IngestResult{}, err)
+				return
+			}
+			if err := sc.appendWAL(wal.TypeIngest, encodeRates(batch)); err != nil {
+				acc.recordWAL(err)
+				return
+			}
 			acc.record(sc.eng.Ingest(batch))
 		})
 		if err != nil {
@@ -133,6 +164,10 @@ func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, codeBadRequest, "bulk body: %v", parseErr)
 		return
 	}
+	if err := acc.failedWAL(); err != nil {
+		writeError(w, codeInternal, "scenario %q: wal: %v", id, err)
+		return
+	}
 	if err := acc.failed(); err != nil {
 		writeError(w, codeInvalidArgument, "%v", err)
 		return
@@ -149,7 +184,7 @@ func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
 	}
 	if step {
 		var stepErr error
-		err := sc.actor.Do(func() {
+		actorErr, walErr, _ := sc.doWithWAL(nil, wal.TypeStep, func() []byte { return nil }, func() {
 			res, err := sc.eng.Step()
 			if err != nil {
 				stepErr = err
@@ -158,7 +193,10 @@ func (s *server) handleRatesBulk(w http.ResponseWriter, r *http.Request) {
 			resp.Step = &res
 		})
 		switch {
-		case s.writeActorErr(w, id, err):
+		case s.writeActorErr(w, id, actorErr):
+			return
+		case walErr != nil:
+			writeError(w, codeInternal, "scenario %q: wal: %v", id, walErr)
 			return
 		case stepErr != nil:
 			writeError(w, codeInternal, "%v", stepErr)

@@ -1,0 +1,431 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"vnfopt/internal/engine"
+	"vnfopt/internal/failfs"
+	"vnfopt/internal/fault"
+	"vnfopt/internal/wal"
+)
+
+// The crash-injection suite: iterate the kill point across every I/O
+// boundary of a live create→ingest→step→fault→snapshot workload and
+// assert the recovered daemon is bit-identical to a reference daemon
+// that executed the same acknowledged command prefix and never crashed.
+// The engine is deterministic, the WAL appends before acknowledging,
+// and the snapshot is atomic — so at any kill point the recovered state
+// must be exactly ref(j) or ref(j+1), where j counts acknowledged
+// mutating commands and the +1 is the one command whose record reached
+// disk but whose acknowledgement didn't (its durability is a bonus, its
+// loss would have been legal — but a torn mix is never).
+
+// crashSpec is the deterministic workload scenario: explicit pairs on
+// the default k=4 fat-tree, so every run computes the same placement.
+func crashSpec() *ScenarioSpec {
+	return &ScenarioSpec{
+		ID: "c1",
+		Pairs: []PairSpec{
+			{Src: 0, Dst: 5, Rate: 10},
+			{Src: 1, Dst: 9, Rate: 8},
+			{Src: 2, Dst: 12, Rate: 5},
+		},
+	}
+}
+
+// crashCommand is one workload step against a live server. mutating
+// commands advance engine state iff acknowledged (HTTP 2xx).
+type crashCommand struct {
+	name     string
+	mutating bool
+	run      func(t *testing.T, srv *server, h http.Handler) bool // acked?
+}
+
+// post drives one request through the route table without a listener.
+func post(t *testing.T, h http.Handler, method, path string, body any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// crashWorkload is the command sequence. victim is the switch to kill,
+// chosen from the reference run's initial placement. snapPath receives
+// the mid-workload snapshot (its I/O is part of the kill-point space).
+func crashWorkload(victim int, snapPath string) []crashCommand {
+	ok := func(code int) bool { return code >= 200 && code < 300 }
+	cmd := func(name, method, path string, body any) crashCommand {
+		return crashCommand{name: name, mutating: true, run: func(t *testing.T, _ *server, h http.Handler) bool {
+			return ok(post(t, h, method, path, body))
+		}}
+	}
+	return []crashCommand{
+		cmd("create", "POST", "/v1/scenarios", crashSpec()),
+		cmd("ingest1", "POST", "/v1/scenarios/c1/rates", ratesRequest{Updates: []engine.RateUpdate{{Flow: 0, Rate: 20}}}),
+		cmd("step1", "POST", "/v1/scenarios/c1/step", nil),
+		cmd("inject", "POST", "/v1/scenarios/c1/faults", faultsRequest{Inject: []fault.Fault{{Kind: fault.Switch, U: victim}}}),
+		{name: "snapshot", mutating: false, run: func(t *testing.T, srv *server, _ http.Handler) bool {
+			return srv.saveSnapshot(snapPath) == nil
+		}},
+		cmd("ingest2", "POST", "/v1/scenarios/c1/rates", ratesRequest{Updates: []engine.RateUpdate{{Flow: 1, Rate: 3.5}, {Flow: 2, Rate: 7.25}}}),
+		cmd("step2", "POST", "/v1/scenarios/c1/step", nil),
+		cmd("heal", "POST", "/v1/scenarios/c1/faults", faultsRequest{Heal: []fault.Fault{{Kind: fault.Switch, U: victim}}}),
+		cmd("step3", "POST", "/v1/scenarios/c1/step", nil),
+	}
+}
+
+// normalizedState captures a scenario's engine state with the wall-time
+// metric fields zeroed — they measure the run, not the decision state,
+// and are the only legitimately non-deterministic part of the state.
+func normalizedState(t *testing.T, srv *server, id string) string {
+	t.Helper()
+	sc := srv.get(id)
+	if sc == nil {
+		return "" // no scenario
+	}
+	blob, err := sc.eng.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if met, ok := m["metrics"].(map[string]any); ok {
+		met["last_epoch_ns"] = 0
+		met["total_epoch_ns"] = 0
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// newWALServer builds a server persisting under dir through fs.
+func newWALServer(fs failfs.FS, dir string) *server {
+	srv := newServer()
+	srv.fs = fs
+	srv.walDir = filepath.Join(dir, "wal")
+	srv.walOpts = wal.Options{Policy: wal.SyncAlways}
+	return srv
+}
+
+// referenceStates runs the workload without any crash and captures the
+// normalized state after every command prefix: refs[m] is the state
+// after the first m mutating commands (refs[0] = no scenario). Returns
+// the victim switch it derived from the initial placement.
+func referenceStates(t *testing.T) (refs []string, victim int) {
+	t.Helper()
+	srv := newServer() // no WAL: the reference is the engine alone
+	h := srv.handler()
+
+	// Derive the victim deterministically from the committed placement.
+	if code := post(t, h, "POST", "/v1/scenarios", crashSpec()); code != http.StatusCreated {
+		t.Fatalf("reference create: %d", code)
+	}
+	victim = srv.get("c1").eng.Snapshot().Placement[0]
+	srv.scenarios.Delete("c1")
+
+	srv = newServer()
+	h = srv.handler()
+	refs = []string{""}
+	for _, cmd := range crashWorkload(victim, filepath.Join(t.TempDir(), "ref-snap.json")) {
+		if !cmd.run(t, srv, h) {
+			t.Fatalf("reference %s failed", cmd.name)
+		}
+		if cmd.mutating {
+			refs = append(refs, normalizedState(t, srv, "c1"))
+		}
+	}
+	return refs, victim
+}
+
+// TestCrashInjectionBitIdentical is the acceptance test of the
+// durability layer: for every I/O boundary k and both crash flavors
+// (clean failure, torn write), kill the filesystem at boundary k, run
+// recovery on what's left, and demand a state bit-identical to a
+// never-crashed reference.
+func TestCrashInjectionBitIdentical(t *testing.T) {
+	refs, victim := referenceStates(t)
+
+	// Probe run: count the I/O boundaries of a crash-free workload.
+	probe := failfs.NewFaulty(failfs.OS)
+	{
+		dir := t.TempDir()
+		srv := newWALServer(probe, dir)
+		h := srv.handler()
+		for _, cmd := range crashWorkload(victim, filepath.Join(dir, "snap.json")) {
+			if !cmd.run(t, srv, h) {
+				t.Fatalf("probe %s failed", cmd.name)
+			}
+		}
+		srv.closeAll()
+	}
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously few I/O boundaries: %d", total)
+	}
+
+	for _, torn := range []bool{false, true} {
+		for k := 1; k <= total; k++ {
+			t.Run(fmt.Sprintf("torn=%v/k=%d", torn, k), func(t *testing.T) {
+				dir := t.TempDir()
+				snap := filepath.Join(dir, "snap.json")
+				ffs := failfs.NewFaulty(failfs.OS)
+				srv := newWALServer(ffs, dir)
+				h := srv.handler()
+				ffs.CrashAt(k, torn)
+				acked := 0
+				for _, cmd := range crashWorkload(victim, snap) {
+					if cmd.run(t, srv, h) && cmd.mutating {
+						acked++
+					}
+				}
+				srv.closeAll() // stop goroutines; files are left as the crash left them
+
+				// Reboot on the real filesystem.
+				srv2 := newWALServer(failfs.OS, dir)
+				srv2.recovering.Store(true)
+				if err := srv2.recoverState(context.Background(), snap); err != nil {
+					t.Fatalf("recovery after crash at op %d: %v", k, err)
+				}
+				got := normalizedState(t, srv2, "c1")
+				want := refs[acked]
+				// The in-flight command's record may have reached disk
+				// even though its acknowledgement didn't.
+				if got != want && acked+1 < len(refs) && got == refs[acked+1] {
+					want = refs[acked+1]
+				}
+				if got != want {
+					t.Fatalf("crash at op %d (torn=%v, %d acked): recovered state diverges\n got: %.200s\nwant: %.200s",
+						k, torn, acked, got, want)
+				}
+				srv2.closeWALs()
+			})
+		}
+	}
+}
+
+// countdownCtx cancels itself after Err has been consulted n times —
+// the deterministic way to abort a replay mid-stream.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRecoveryCancelLeavesLogIntact: SIGTERM during WAL replay aborts
+// cleanly — recovery reports cancellation, no segment is deleted or
+// truncated, snapshots are refused while recovery is incomplete, and a
+// re-run recovers everything.
+func TestRecoveryCancelLeavesLogIntact(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+	srv := newWALServer(failfs.OS, dir)
+	h := srv.handler()
+	_, victim := referenceStates(t)
+	for _, cmd := range crashWorkload(victim, snap) {
+		if !cmd.run(t, srv, h) {
+			t.Fatalf("workload %s failed", cmd.name)
+		}
+	}
+	wantState := normalizedState(t, srv, "c1")
+	srv.closeAll()
+	srv.closeWALs()
+
+	segsBefore := listWALFiles(t, filepath.Join(dir, "wal"))
+
+	// Cancel after two replayed records: mid-stream, deterministically.
+	srv2 := newWALServer(failfs.OS, dir)
+	srv2.recovering.Store(true)
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(2)
+	err := srv2.recoverState(ctx, snap)
+	if err == nil {
+		t.Fatal("cancelled recovery reported success")
+	}
+	if !srv2.recovering.Load() {
+		t.Fatal("recovering flag cleared by a failed recovery")
+	}
+	// /readyz answers 503 recovering, /v1 is gated.
+	h2 := srv2.handler()
+	var ready struct {
+		Status string `json:"status"`
+	}
+	rec := httptest.NewRecorder()
+	h2.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while recovering: %d", rec.Code)
+	}
+	if json.Unmarshal(rec.Body.Bytes(), &ready); ready.Status != "recovering" {
+		t.Fatalf("readyz body: %s", rec.Body.String())
+	}
+	if code := post(t, h2, "GET", "/v1/scenarios", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("/v1 while recovering: %d", code)
+	}
+	// Snapshots are refused: a mid-recovery snapshot would anchor away
+	// records the next attempt still needs.
+	if err := srv2.saveSnapshot(filepath.Join(dir, "bad.json")); err == nil {
+		t.Fatal("saveSnapshot succeeded during recovery")
+	}
+	// No segment was deleted or truncated by the aborted replay.
+	if after := listWALFiles(t, filepath.Join(dir, "wal")); !equalFiles(segsBefore, after) {
+		t.Fatalf("aborted recovery changed the log:\nbefore %v\nafter  %v", segsBefore, after)
+	}
+	srv2.closeWALs()
+
+	// A fresh recovery over the same directory completes and matches.
+	srv3 := newWALServer(failfs.OS, dir)
+	srv3.recovering.Store(true)
+	if err := srv3.recoverState(context.Background(), snap); err != nil {
+		t.Fatalf("re-recovery: %v", err)
+	}
+	if got := normalizedState(t, srv3, "c1"); got != wantState {
+		t.Fatalf("re-recovered state diverges from pre-shutdown state")
+	}
+	if code := post(t, srv3.handler(), "GET", "/v1/scenarios", nil); code != http.StatusOK {
+		t.Fatalf("/v1 after recovery: %d", code)
+	}
+	srv3.closeWALs()
+}
+
+// listWALFiles maps every file under root to its size.
+func listWALFiles(t *testing.T, root string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			out[path] = info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func equalFiles(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotCompactionRacesIngest: periodic snapshot+anchor cycles
+// racing a stream of ingest/step commands must neither fail nor lose a
+// record — after the dust settles, a reboot replays to the live state.
+func TestSnapshotCompactionRacesIngest(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+	srv := newWALServer(failfs.OS, dir)
+	// Tiny segments so anchoring actually compacts mid-test.
+	srv.walOpts.SegmentBytes = 512
+	h := srv.handler()
+	if code := post(t, h, "POST", "/v1/scenarios", crashSpec()); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 40; i++ {
+			body := ratesRequest{Updates: []engine.RateUpdate{{Flow: i % 3, Rate: float64(i + 1)}}, Step: i%4 == 3}
+			if code := post(t, h, "POST", "/v1/scenarios/c1/rates", body); code != http.StatusOK {
+				done <- fmt.Errorf("ingest %d: HTTP %d", i, code)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 10; i++ {
+		if err := srv.saveSnapshot(snap); err != nil {
+			t.Fatalf("snapshot %d racing ingest: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.saveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	liveState := normalizedState(t, srv, "c1")
+	srv.closeAll()
+	srv.closeWALs()
+
+	srv2 := newWALServer(failfs.OS, dir)
+	srv2.recovering.Store(true)
+	if err := srv2.recoverState(context.Background(), snap); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if got := normalizedState(t, srv2, "c1"); got != liveState {
+		t.Fatal("recovered state diverges after snapshot/ingest race")
+	}
+	srv2.closeWALs()
+}
+
+// TestWALDeleteAtomicity: deleting a scenario retires its log through
+// the rename tombstone, and a tombstone left by a crashed delete is
+// swept — never replayed — at boot.
+func TestWALDeleteAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+	srv := newWALServer(failfs.OS, dir)
+	h := srv.handler()
+	if code := post(t, h, "POST", "/v1/scenarios", crashSpec()); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := post(t, h, "DELETE", "/v1/scenarios/c1", nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if entries, err := os.ReadDir(filepath.Join(dir, "wal")); err != nil || len(entries) != 0 {
+		t.Fatalf("wal root not empty after delete: %v %v", entries, err)
+	}
+
+	// Simulate a crash mid-delete: a tombstone directory left behind.
+	tomb := filepath.Join(dir, "wal", "dead"+deletingSuffix)
+	if err := os.MkdirAll(tomb, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newWALServer(failfs.OS, dir)
+	srv2.recovering.Store(true)
+	if err := srv2.recoverState(context.Background(), snap); err != nil {
+		t.Fatalf("recovery with tombstone: %v", err)
+	}
+	if _, err := os.Stat(tomb); !os.IsNotExist(err) {
+		t.Fatalf("tombstone not swept: %v", err)
+	}
+	if srv2.scenarios.Len() != 0 {
+		t.Fatalf("deleted scenario resurrected: %d scenarios", srv2.scenarios.Len())
+	}
+}

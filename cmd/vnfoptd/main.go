@@ -53,18 +53,24 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"vnfopt/internal/wal"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		snapshot  = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
-		snapEvery = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval (requires -snapshot; 0 disables)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		logLevel  = flag.String("log-level", "info", "slog level: debug, info, warn, or error")
-		mailbox   = flag.Int("mailbox", defaultMailboxCap, "per-scenario command mailbox capacity (backpressure bound)")
-		scMetrics = flag.Bool("scenario-metrics", true, "per-scenario engine metric series (disable for fleets of many thousands of scenarios)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		snapshot   = flag.String("snapshot", "", "state file for crash recovery (empty = no persistence)")
+		snapEvery  = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval (requires -snapshot; 0 disables)")
+		walDir     = flag.String("wal", "", "write-ahead log root directory (empty = no WAL); every mutating command is logged before it is acknowledged")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (durable per command), interval (group commit), or os (page cache)")
+		walSyncEvy = flag.Duration("wal-sync-every", 50*time.Millisecond, "group-commit window for -wal-sync interval")
+		walSegment = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "slog level: debug, info, warn, or error")
+		mailbox    = flag.Int("mailbox", defaultMailboxCap, "per-scenario command mailbox capacity (backpressure bound)")
+		scMetrics  = flag.Bool("scenario-metrics", true, "per-scenario engine metric series (disable for fleets of many thousands of scenarios)")
 	)
 	flag.Parse()
 
@@ -81,11 +87,14 @@ func main() {
 		srv.mailboxCap = *mailbox
 	}
 	srv.scenarioMetrics = *scMetrics
-	if *snapshot != "" {
-		if err := srv.loadSnapshot(*snapshot); err != nil {
-			fmt.Fprintf(os.Stderr, "vnfoptd: restore: %v\n", err)
-			os.Exit(1)
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnfoptd: -wal-sync: %v\n", err)
+			os.Exit(2)
 		}
+		srv.walDir = *walDir
+		srv.walOpts = wal.Options{Policy: policy, SyncEvery: *walSyncEvy, SegmentBytes: *walSegment}
 	}
 
 	// The timeouts harden the listener against slow-loris clients and
@@ -100,38 +109,73 @@ func main() {
 	}
 	loopCtx, loopCancel := context.WithCancel(context.Background())
 	defer loopCancel()
-	if *snapshot != "" && *snapEvery > 0 {
-		go srv.snapshotLoop(loopCtx, *snapshot, *snapEvery)
-	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("vnfoptd: listening on %s\n", *addr)
 
+	// Recovery (snapshot load + WAL replay) runs while the listener is
+	// already up: /healthz answers immediately, /readyz and the /v1
+	// surface answer 503 "recovering" until it finishes. SIGTERM during
+	// a long replay cancels it cleanly between records.
+	srv.recovering.Store(true)
+	recovered := make(chan error, 1)
+	go func() {
+		err := srv.recoverState(loopCtx, *snapshot)
+		if err == nil && *snapshot != "" && *snapEvery > 0 {
+			go srv.snapshotLoop(loopCtx, *snapshot, *snapEvery)
+		}
+		recovered <- err
+	}()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case err := <-errCh:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "vnfoptd: %v\n", err)
-			os.Exit(1)
-		}
-	case s := <-sig:
-		fmt.Printf("vnfoptd: %v, draining\n", s)
-		loopCancel()
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "vnfoptd: drain: %v\n", err)
-		}
-		cancel()
-		// Every in-flight request is done; drain and stop the scenario
-		// run loops so the final snapshot sees fully-settled engines.
-		srv.closeAll()
-		if *snapshot != "" {
-			if err := srv.saveSnapshotRetry(*snapshot, 3, 100*time.Millisecond); err != nil {
-				fmt.Fprintf(os.Stderr, "vnfoptd: snapshot: %v\n", err)
+	for {
+		select {
+		case err := <-errCh:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "vnfoptd: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("vnfoptd: state saved to %s\n", *snapshot)
+			return
+		case err := <-recovered:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "vnfoptd: recover: %v\n", err)
+				os.Exit(1)
+			}
+			recovered = nil // recovery settled; keep waiting for a signal
+		case s := <-sig:
+			fmt.Printf("vnfoptd: %v, draining\n", s)
+			loopCancel()
+			if recovered != nil {
+				// Wait for the aborted recovery so nothing races the
+				// shutdown below; the WAL is left exactly as found and
+				// the next boot resumes from it.
+				if err := <-recovered; err != nil && !errors.Is(err, context.Canceled) {
+					fmt.Fprintf(os.Stderr, "vnfoptd: recover: %v\n", err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "vnfoptd: drain: %v\n", err)
+			}
+			cancel()
+			// Every in-flight request is done; drain and stop the scenario
+			// run loops so the final snapshot sees fully-settled engines.
+			srv.closeAll()
+			if *snapshot != "" && !srv.recovering.Load() {
+				if err := srv.saveSnapshotRetry(*snapshot, 3, 100*time.Millisecond); err != nil {
+					fmt.Fprintf(os.Stderr, "vnfoptd: snapshot: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("vnfoptd: state saved to %s\n", *snapshot)
+			} else if srv.recovering.Load() {
+				// An incomplete recovery must not snapshot: it would
+				// capture partial state and anchor away records the next
+				// boot still needs.
+				fmt.Printf("vnfoptd: shutdown during recovery; durable state left as found\n")
+			}
+			srv.closeWALs()
+			return
 		}
 	}
 }

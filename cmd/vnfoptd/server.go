@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,9 +17,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vnfopt/internal/engine"
+	"vnfopt/internal/failfs"
 	"vnfopt/internal/fault"
 	"vnfopt/internal/graph"
 	"vnfopt/internal/migration"
@@ -28,6 +31,7 @@ import (
 	"vnfopt/internal/shard"
 	"vnfopt/internal/stroll"
 	"vnfopt/internal/topology"
+	"vnfopt/internal/wal"
 	"vnfopt/internal/workload"
 )
 
@@ -226,6 +230,14 @@ type scenario struct {
 	eng    *engine.Engine
 	events *obs.EventLog
 	actor  *shard.Actor
+
+	// wal is the scenario's write-ahead log (nil with -wal unset).
+	// walSeq is the seq of the last command appended for this scenario:
+	// written only from the actor (appendWAL) or before the scenario is
+	// published, read via actor.Do — or directly once the actor has
+	// drained (snapshot-at-shutdown).
+	wal    *wal.Log
+	walSeq uint64
 }
 
 // status classifies the scenario for the list filter.
@@ -261,6 +273,24 @@ type server struct {
 	// dominating the run.
 	scenarioMetrics bool
 
+	// fs is the filesystem seam for everything durable (WAL segments,
+	// snapshot files). Production uses failfs.OS; the crash-injection
+	// suite swaps in a failfs.Faulty.
+	fs failfs.FS
+	// walDir is the WAL root ("" = durability off); each scenario logs
+	// under walDir/<escaped-id>/. walOpts carries the fsync policy and
+	// segment size for every scenario log.
+	walDir     string
+	walOpts    wal.Options
+	walMetrics *wal.Metrics
+	// recovering gates /v1 and /readyz while the boot-time snapshot load
+	// + WAL replay runs; cleared by recoverState.
+	recovering atomic.Bool
+	// snapMu serializes snapshot+anchor cycles (periodic loop vs
+	// shutdown), so compaction can never race a concurrent snapshot into
+	// anchoring past what the older snapshot file covers.
+	snapMu sync.Mutex
+
 	reg       *obs.Registry
 	rejected  *obs.Counter // mailbox-full 429s
 	log       *slog.Logger
@@ -273,9 +303,11 @@ func newServer() *server {
 		start:           time.Now(),
 		mailboxCap:      defaultMailboxCap,
 		scenarioMetrics: true,
+		fs:              failfs.OS,
 		reg:             obs.NewRegistry(),
 		log:             slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
+	s.walMetrics = wal.NewMetrics(s.reg)
 	s.rejected = s.reg.Counter("vnfoptd_mailbox_rejected_total")
 	s.reg.GaugeFunc("vnfoptd_uptime_seconds", func() float64 {
 		return time.Since(s.start).Seconds()
@@ -342,29 +374,58 @@ func (s *server) newScenario(id string, spec *ScenarioSpec, eng *engine.Engine, 
 	return sc
 }
 
+// buildScenario materializes a spec into a registered-but-unpublished
+// scenario shard: engine + observer + actor. Shared by live create,
+// snapshot load, and WAL replay so all three produce identical shards.
+func (s *server) buildScenario(id string, spec *ScenarioSpec) (*scenario, error) {
+	events := obs.NewEventLog(0)
+	var o *engine.Observer
+	if s.scenarioMetrics {
+		o = engine.NewObserver(s.reg, events, id)
+	}
+	eng, err := buildEngine(spec, s.reg, o)
+	if err != nil {
+		return nil, err
+	}
+	return s.newScenario(id, spec, eng, events), nil
+}
+
 // handler builds the route table (Go 1.22 pattern mux). Every route is
-// wrapped in the request middleware (metrics + structured log).
+// wrapped in the request middleware (metrics + structured log); the /v1
+// surface is additionally gated on boot-time recovery — until the
+// snapshot is loaded and every WAL replayed, scenario state is
+// incomplete and nothing may read or (worse) mutate it.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
+	gated := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if s.recovering.Load() {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, codeUnavailable, "server is recovering (snapshot load / wal replay in progress)")
+				return
+			}
+			h(w, r)
+		}
+	}
 	route("GET /healthz", s.handleHealth)
 	route("GET /readyz", s.handleReady)
 	route("GET /metrics", s.handleMetrics)
-	route("POST /v1/scenarios", s.handleCreate)
-	route("GET /v1/scenarios", s.handleList)
-	route("DELETE /v1/scenarios/{id}", s.handleDelete)
-	route("POST /v1/scenarios/{id}/rates", s.handleRates)
-	route("POST /v1/scenarios/{id}/rates:bulk", s.handleRatesBulk)
-	route("POST /v1/scenarios/{id}/step", s.handleStep)
-	route("POST /v1/scenarios/{id}/faults", s.handleFaults)
-	route("GET /v1/scenarios/{id}/faults", s.handleFaultsGet)
-	route("GET /v1/scenarios/{id}/placement", s.handlePlacement)
-	route("GET /v1/scenarios/{id}/routing", s.handleRouting)
-	route("GET /v1/scenarios/{id}/state", s.handleState)
-	route("GET /v1/scenarios/{id}/metrics", s.handleScenarioMetrics)
-	route("GET /v1/scenarios/{id}/events", s.handleEvents)
+	route("POST /v1/scenarios", gated(s.handleCreate))
+	route("GET /v1/scenarios", gated(s.handleList))
+	route("DELETE /v1/scenarios/{id}", gated(s.handleDelete))
+	route("POST /v1/scenarios/{id}/rates", gated(s.handleRates))
+	route("POST /v1/scenarios/{id}/rates:bulk", gated(s.handleRatesBulk))
+	route("POST /v1/scenarios/{id}/step", gated(s.handleStep))
+	route("POST /v1/scenarios/{id}/faults", gated(s.handleFaults))
+	route("GET /v1/scenarios/{id}/faults", gated(s.handleFaultsGet))
+	route("GET /v1/scenarios/{id}/placement", gated(s.handlePlacement))
+	route("GET /v1/scenarios/{id}/routing", gated(s.handleRouting))
+	route("GET /v1/scenarios/{id}/state", gated(s.handleState))
+	route("GET /v1/scenarios/{id}/metrics", gated(s.handleScenarioMetrics))
+	route("GET /v1/scenarios/{id}/events", gated(s.handleEvents))
 	if s.pprofOpen {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -440,23 +501,39 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	events := obs.NewEventLog(0)
-	var o *engine.Observer
-	if s.scenarioMetrics {
-		o = engine.NewObserver(s.reg, events, id)
-	}
-	eng, err := buildEngine(&spec, s.reg, o)
+	sc, err := s.buildScenario(id, &spec)
 	if err != nil {
 		writeError(w, codeInvalidArgument, "scenario: %v", err)
 		return
 	}
-	sc := s.newScenario(id, &spec, eng, events)
+	// Durability handshake: the create record must be on disk before the
+	// scenario is published or the 201 sent. The scenario is not yet
+	// reachable, so appending outside its actor is safe.
+	if s.walEnabled() {
+		l, err := s.openScenarioWAL(id)
+		if err == nil {
+			sc.wal = l
+			var payload []byte
+			if payload, err = json.Marshal(walCreate{ID: id, Spec: &spec}); err == nil {
+				err = sc.appendWAL(wal.TypeCreate, payload)
+			}
+		}
+		if err != nil {
+			if sc.wal != nil {
+				sc.wal.Close()
+			}
+			_ = s.dropWALDir(id)
+			sc.actor.Close()
+			writeError(w, codeInternal, "scenario %q: wal: %v", id, err)
+			return
+		}
+	}
 	s.scenarios.Insert(id, sc)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       id,
-		"flows":    eng.Flows(),
-		"migrator": eng.MigratorName(),
-		"snapshot": eng.Snapshot(),
+		"flows":    sc.eng.Flows(),
+		"migrator": sc.eng.MigratorName(),
+		"snapshot": sc.eng.Snapshot(),
 	})
 }
 
@@ -533,7 +610,10 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 // handleDelete removes the scenario from the registry (new requests see
 // 404 immediately) and then drains its mailbox: commands already
 // accepted still run, their waiting callers get answers, and only then
-// is the deletion acknowledged.
+// is the deletion acknowledged. With a WAL, the scenario's log
+// directory is retired after the drain — rename first (the atomic
+// commit point; a crash mid-delete is swept at boot, never replayed
+// back to life), then collect.
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sc, ok := s.scenarios.Delete(id)
@@ -543,6 +623,12 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	drained := sc.actor.Depth()
 	sc.actor.Close()
+	if sc.wal != nil {
+		sc.wal.Close()
+		if err := s.dropWALDir(id); err != nil {
+			s.log.Error("wal delete", slog.String("scenario", id), slog.Any("err", err))
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "drained": drained})
 }
 
@@ -582,10 +668,23 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		resp    ingestResponse
 		ingErr  error
 		stepErr error
+		walErr  error
 	)
 	err := sc.actor.Do(func() {
+		// Append-before-apply: the batch is validated (so it can never
+		// poison a replay), logged durably, and only then applied. The
+		// step rides in the same command but is its own record.
+		if ingErr = sc.eng.ValidateRates(req.Updates); ingErr != nil {
+			return
+		}
+		if walErr = sc.appendWAL(wal.TypeIngest, encodeRates(req.Updates)); walErr != nil {
+			return
+		}
 		resp.IngestResult, ingErr = sc.eng.Ingest(req.Updates)
 		if ingErr != nil || !req.Step {
+			return
+		}
+		if walErr = sc.appendWAL(wal.TypeStep, nil); walErr != nil {
 			return
 		}
 		res, err := sc.eng.Step()
@@ -600,6 +699,9 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		return
 	case ingErr != nil:
 		writeError(w, codeInvalidArgument, "%v", ingErr)
+		return
+	case walErr != nil:
+		writeError(w, codeInternal, "scenario %q: wal: %v", id, walErr)
 		return
 	case stepErr != nil:
 		writeError(w, codeInternal, "%v", stepErr)
@@ -626,11 +728,14 @@ func (s *server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := stepResponse{QueueDrained: sc.actor.Depth()}
 	var stepErr error
-	err := sc.actor.Do(func() {
+	actorErr, walErr, _ := sc.doWithWAL(nil, wal.TypeStep, func() []byte { return nil }, func() {
 		resp.StepResult, stepErr = sc.eng.Step()
 	})
 	switch {
-	case s.writeActorErr(w, id, err):
+	case s.writeActorErr(w, id, actorErr):
+		return
+	case walErr != nil:
+		writeError(w, codeInternal, "scenario %q: wal: %v", id, walErr)
 		return
 	case stepErr != nil:
 		writeError(w, codeInternal, "%v", stepErr)
@@ -669,11 +774,25 @@ func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		faultErr error
 	)
 	ctx := r.Context()
-	err := sc.actor.Do(func() {
+	if sc.wal != nil {
+		// A logged fault transition must behave identically on replay,
+		// where no client context exists: drop cancellation so "client
+		// gave up mid-repair" can never make the log disagree with the
+		// engine about whether the transition applied.
+		ctx = context.WithoutCancel(ctx)
+	}
+	payload := func() []byte {
+		b, _ := json.Marshal(walFaults{Inject: req.Inject, Heal: req.Heal})
+		return b
+	}
+	actorErr, walErr, _ := sc.doWithWAL(nil, wal.TypeFaults, payload, func() {
 		res, faultErr = sc.eng.ApplyFaults(ctx, req.Inject, req.Heal)
 	})
 	switch {
-	case s.writeActorErr(w, id, err):
+	case s.writeActorErr(w, id, actorErr):
+		return
+	case walErr != nil:
+		writeError(w, codeInternal, "scenario %q: wal: %v", id, walErr)
 		return
 	case errors.Is(faultErr, engine.ErrInfeasible):
 		writeError(w, codeUnavailable, "%v", faultErr)
@@ -737,10 +856,17 @@ var buildInfo = sync.OnceValue(func() map[string]string {
 	return out
 })
 
-// handleReady is the readiness probe: 200 while every scenario serves
-// its full fabric, 503 (with the degraded scenario ids) while any is in
-// degraded mode. Liveness (/healthz) stays green either way.
+// handleReady is the readiness probe: 503 {"status":"recovering"}
+// while the boot-time snapshot load / WAL replay runs (scenario state
+// is incomplete — routing traffic here would serve stale or partial
+// answers), 200 once recovery is done and every scenario serves its
+// full fabric, 503 (with the degraded scenario ids) while any is in
+// degraded mode. Liveness (/healthz) stays green throughout.
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "recovering"})
+		return
+	}
 	var degraded []string
 	s.scenarios.Range(func(id string, sc *scenario) bool {
 		if sc.eng.Snapshot().Degraded {
@@ -852,78 +978,151 @@ func (s *server) closeAll() {
 	})
 }
 
-// persistedScenario is the on-disk form of one scenario in the daemon's
-// snapshot file: the spec with the engine state embedded, so loading is
-// exactly a sequence of create-with-state calls.
-type persistedScenario struct {
-	ID   string        `json:"id"`
-	Spec *ScenarioSpec `json:"spec"`
+// closeWALs syncs and closes every scenario's log. Runs after the final
+// snapshot (so the shutdown snapshot can still anchor) — the close's
+// sync is what makes an interval-policy tail durable on clean shutdown.
+func (s *server) closeWALs() {
+	s.scenarios.Range(func(id string, sc *scenario) bool {
+		if sc.wal != nil {
+			if err := sc.wal.Close(); err != nil {
+				s.log.Warn("wal close", slog.String("scenario", id), slog.Any("err", err))
+			}
+		}
+		return true
+	})
 }
 
-// saveSnapshot writes every scenario's spec+state to path via
-// writeFileAtomic (fsync + rename), so a crash mid-write never tears
-// the snapshot. State is captured directly from each engine (whose own
-// lock serializes against the scenario's run loop), so a snapshot can
-// be taken at any moment — mid-drain, mid-ingest — and still sees a
-// consistent per-scenario state.
+// persistedScenario is the on-disk form of one scenario in the daemon's
+// snapshot file: the spec with the engine state embedded, so loading is
+// exactly a sequence of create-with-state calls. WalSeq is the
+// scenario's applied WAL seq at capture time — the replay start point
+// and the compaction anchor (0 with the WAL disabled).
+type persistedScenario struct {
+	ID     string        `json:"id"`
+	Spec   *ScenarioSpec `json:"spec"`
+	WalSeq uint64        `json:"wal_seq,omitempty"`
+}
+
+// saveSnapshot writes every scenario's spec+state to path atomically
+// (fsync + rename via the failfs seam), so a crash mid-write never
+// tears the snapshot — then anchors each scenario's WAL at the captured
+// seq, letting the log drop segments the snapshot now covers.
+//
+// Capture semantics differ by durability mode. With a WAL, (state,
+// walSeq) must be one atomic pair, so the capture runs as an actor
+// command; when the actor has already drained (shutdown), the direct
+// read is safe because nothing else writes. Without a WAL, state is
+// captured directly from the engine (whose own lock serializes against
+// the run loop) — a snapshot then cannot be wedged by a stuck command,
+// which the WAL-less path keeps as its liveness property.
 func (s *server) saveSnapshot(path string) error {
+	if s.recovering.Load() {
+		// A snapshot taken mid-recovery would capture partially-replayed
+		// engines and, worse, anchor (= compact away) log records that
+		// the next recovery still needs.
+		return fmt.Errorf("snapshot refused: recovery in progress")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	ids := s.scenarios.Keys()
 	out := make([]persistedScenario, 0, len(ids))
+	anchors := make(map[*scenario]uint64)
 	for _, id := range ids {
 		sc := s.get(id)
 		if sc == nil {
 			continue // deleted since the Keys snapshot
 		}
-		blob, err := sc.eng.MarshalState()
-		if err != nil {
-			return fmt.Errorf("scenario %s: %w", id, err)
+		var (
+			blob   json.RawMessage
+			seq    uint64
+			capErr error
+		)
+		if sc.wal != nil {
+			err := sc.actor.Do(func() {
+				blob, capErr = sc.eng.MarshalState()
+				seq = sc.walSeq
+			})
+			if errors.Is(err, shard.ErrClosed) {
+				// Post-drain: the actor is gone and so are all writers.
+				blob, capErr = sc.eng.MarshalState()
+				seq = sc.walSeq
+			} else if err != nil {
+				return fmt.Errorf("scenario %s: %w", id, err)
+			}
+		} else {
+			blob, capErr = sc.eng.MarshalState()
+		}
+		if capErr != nil {
+			return fmt.Errorf("scenario %s: %w", id, capErr)
 		}
 		spec := *sc.Spec
 		spec.State = blob
-		out = append(out, persistedScenario{ID: id, Spec: &spec})
+		out = append(out, persistedScenario{ID: id, Spec: &spec, WalSeq: seq})
+		if sc.wal != nil {
+			anchors[sc] = seq
+		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, data, 0o644)
+	if err := failfs.WriteFileAtomic(s.fs, path, data, 0o644); err != nil {
+		return err
+	}
+	// The snapshot is durable; the logs may now drop what it covers.
+	// Compaction failing is not a snapshot failure — the log stays
+	// correct, just longer.
+	for sc, seq := range anchors {
+		if seq == 0 {
+			continue
+		}
+		if err := sc.wal.Anchor(seq); err != nil && !errors.Is(err, wal.ErrClosed) {
+			s.log.Warn("wal anchor failed", slog.String("scenario", sc.ID), slog.Any("err", err))
+		}
+	}
+	return nil
 }
 
-// loadSnapshot restores scenarios from a snapshot file; a missing file is
-// a clean first boot.
-func (s *server) loadSnapshot(path string) error {
-	data, err := os.ReadFile(path)
+// loadSnapshot restores scenarios from a snapshot file into the
+// registry and returns them by id (for the WAL replay that follows); a
+// missing file is a clean first boot.
+func (s *server) loadSnapshot(path string) (map[string]*scenario, error) {
+	restored := make(map[string]*scenario)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return restored, nil
 		}
-		return err
+		return nil, err
 	}
 	var in []persistedScenario
 	if err := json.Unmarshal(data, &in); err != nil {
-		return fmt.Errorf("snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	s.createMu.Lock()
 	defer s.createMu.Unlock()
 	for _, ps := range in {
-		events := obs.NewEventLog(0)
-		var o *engine.Observer
-		if s.scenarioMetrics {
-			o = engine.NewObserver(s.reg, events, ps.ID)
-		}
-		eng, err := buildEngine(ps.Spec, s.reg, o)
+		sc, err := s.buildScenario(ps.ID, ps.Spec)
 		if err != nil {
-			return fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
+			return nil, fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
 		}
-		if !s.scenarios.Insert(ps.ID, s.newScenario(ps.ID, ps.Spec, eng, events)) {
-			return fmt.Errorf("snapshot scenario %s: duplicate id", ps.ID)
+		sc.walSeq = ps.WalSeq
+		if !s.scenarios.Insert(ps.ID, sc) {
+			return nil, fmt.Errorf("snapshot scenario %s: duplicate id", ps.ID)
 		}
-		if n := len(ps.ID); n > 1 && ps.ID[0] == 's' {
-			var num int
-			if _, err := fmt.Sscanf(ps.ID[1:], "%d", &num); err == nil && num > s.nextID {
-				s.nextID = num
-			}
+		restored[ps.ID] = sc
+		s.bumpNextID(ps.ID)
+	}
+	return restored, nil
+}
+
+// bumpNextID advances the auto-id counter past a restored scenario's
+// id, so post-recovery creates never collide. Caller holds createMu.
+func (s *server) bumpNextID(id string) {
+	if n := len(id); n > 1 && id[0] == 's' {
+		var num int
+		if _, err := fmt.Sscanf(id[1:], "%d", &num); err == nil && num > s.nextID {
+			s.nextID = num
 		}
 	}
-	return nil
 }

@@ -3,54 +3,12 @@ package main
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 )
 
-// writeFileAtomic writes data to path so a crash at any instant leaves
-// either the old file or the new one, never a torn mix:
-//
-//  1. the bytes land in a same-directory temp file (rename only works
-//     atomically within one filesystem),
-//  2. the temp file is fsynced before rename — otherwise the rename can
-//     hit disk before the data and a power cut leaves an empty file
-//     under the final name,
-//  3. the rename swaps it in,
-//  4. the directory is fsynced so the rename itself is durable.
-//
-// The temp name is fixed (path + ".tmp"), so an interrupted write is
-// overwritten by the next attempt instead of leaking files.
-func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = dir.Sync()
-		_ = dir.Close()
-	}
-	return nil
-}
+// The atomic file write that used to live here is now
+// failfs.WriteFileAtomic — shared with the WAL layer and routed through
+// the failfs seam so the crash-injection suite covers it too.
 
 // saveSnapshotRetry runs saveSnapshot with bounded retry: transient
 // failures (disk pressure, a slow NFS mount) back off and try again up

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"strings"
+
+	"vnfopt/internal/engine"
+	"vnfopt/internal/fault"
+	"vnfopt/internal/wal"
+)
+
+// WAL glue: with -wal set, every mutating command — create, ingest
+// batch, step, fault transition — is appended to the scenario's
+// write-ahead log *before* it is applied and acknowledged, so a crash
+// between snapshots loses nothing that a client was told succeeded
+// (modulo the -wal-sync policy; see docs/RESILIENCE.md). Recovery is
+// snapshot + replay: the boot restores the last snapshot, then
+// re-executes each scenario's logged suffix through the real engine.
+// The engine is deterministic, so replay lands bit-identically on the
+// pre-crash state — including commands that failed (a step that errored
+// errors again, changing nothing).
+//
+// Payload encodings (the log frames and checksums; the daemon owns the
+// bytes):
+//
+//	create  JSON {"id": ..., "spec": {...}}  (spec after defaulting, so
+//	        rebuild is deterministic; carries State when resuming)
+//	ingest  u32 LE count, then per update u32 LE flow, f64 LE rate
+//	step    empty
+//	faults  JSON {"inject": [...], "heal": [...]}
+
+// walCreate is the TypeCreate payload.
+type walCreate struct {
+	ID   string        `json:"id"`
+	Spec *ScenarioSpec `json:"spec"`
+}
+
+// walFaults is the TypeFaults payload.
+type walFaults struct {
+	Inject []fault.Fault `json:"inject,omitempty"`
+	Heal   []fault.Fault `json:"heal,omitempty"`
+}
+
+// encodeRates packs an accepted batch as the TypeIngest payload: a
+// fixed 12-byte little-endian cell per update. The binary form keeps
+// the WAL overhead of the bulk path proportional to the update count,
+// not to the NDJSON text it arrived as.
+func encodeRates(updates []engine.RateUpdate) []byte {
+	buf := make([]byte, 4+12*len(updates))
+	binary.LittleEndian.PutUint32(buf, uint32(len(updates)))
+	off := 4
+	for _, u := range updates {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Flow))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(u.Rate))
+		off += 12
+	}
+	return buf
+}
+
+// decodeRates is the replay-side inverse of encodeRates.
+func decodeRates(payload []byte) ([]engine.RateUpdate, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("ingest payload too short (%d bytes)", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+12*n {
+		return nil, fmt.Errorf("ingest payload: %d bytes for %d updates", len(payload), n)
+	}
+	updates := make([]engine.RateUpdate, n)
+	off := 4
+	for i := range updates {
+		updates[i].Flow = int(int32(binary.LittleEndian.Uint32(payload[off:])))
+		updates[i].Rate = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4:]))
+		off += 12
+	}
+	return updates, nil
+}
+
+// scenarioDirName maps a scenario id to its WAL directory name.
+// PathEscape keeps separators and other filesystem-hostile bytes out;
+// "." and ".." (which PathEscape passes through) are forced into escaped
+// forms so an id can never walk out of the WAL root.
+func scenarioDirName(id string) string {
+	switch id {
+	case ".":
+		return "%2E"
+	case "..":
+		return "%2E%2E"
+	}
+	return url.PathEscape(id)
+}
+
+// scenarioDirID is the inverse of scenarioDirName, for the boot scan.
+func scenarioDirID(name string) (string, error) {
+	return url.PathUnescape(name)
+}
+
+// deletingSuffix marks a scenario WAL directory whose scenario was
+// deleted: the rename is the atomic commit point of the deletion, the
+// RemoveAll after it is garbage collection, and the boot scan sweeps any
+// leftovers — so a crash mid-delete can never resurrect the scenario.
+const deletingSuffix = ".deleting"
+
+// walEnabled reports whether the daemon runs with a write-ahead log.
+func (s *server) walEnabled() bool { return s.walDir != "" }
+
+// openScenarioWAL opens (creating if needed) the log for one scenario.
+// Returns (nil, nil) when the WAL is disabled.
+func (s *server) openScenarioWAL(id string) (*wal.Log, error) {
+	if !s.walEnabled() {
+		return nil, nil
+	}
+	opts := s.walOpts
+	opts.FS = s.fs
+	opts.Metrics = s.walMetrics
+	return wal.Open(s.walPath(scenarioDirName(id)), opts)
+}
+
+// walPath joins a directory name onto the WAL root.
+func (s *server) walPath(name string) string {
+	return strings.TrimSuffix(s.walDir, "/") + "/" + name
+}
+
+// appendWAL appends one record for sc and advances the scenario's
+// applied-seq watermark. It must be called from the scenario's actor
+// (or before the scenario is published), so appends are serialized per
+// scenario; the caller must not apply or acknowledge the command unless
+// it returns nil. No-op without a WAL.
+func (sc *scenario) appendWAL(typ wal.Type, payload []byte) error {
+	if sc.wal == nil {
+		return nil
+	}
+	seq, err := sc.wal.Append(typ, payload)
+	if err != nil {
+		return err
+	}
+	sc.walSeq = seq
+	return nil
+}
+
+// recoverState drives the boot-time restore: snapshot load, the
+// .deleting sweep, and per-scenario WAL replay. ctx aborts the replay
+// between records (SIGTERM during a long recovery): segments are left
+// exactly as found — recovery never deletes or truncates anything
+// beyond the torn tail of the final segment — so the next boot resumes
+// from the same log. The server must not serve /v1 traffic until this
+// returns nil; main gates that on s.recovering, which is cleared only
+// on success — a half-recovered server must never serve, and above all
+// must never snapshot (that would capture partial state and compact
+// away log records the next recovery still needs).
+func (s *server) recoverState(ctx context.Context, snapshotPath string) error {
+	restored, err := s.loadSnapshot(snapshotPath)
+	if err != nil {
+		return err
+	}
+	if !s.walEnabled() {
+		s.recovering.Store(false)
+		return nil
+	}
+	if err := s.fs.MkdirAll(s.walDir, 0o755); err != nil {
+		return fmt.Errorf("wal root: %w", err)
+	}
+	entries, err := s.fs.ReadDir(s.walDir)
+	if err != nil {
+		return fmt.Errorf("wal root: %w", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, deletingSuffix) {
+			// A delete that committed (rename) but didn't finish collecting.
+			if err := s.fs.RemoveAll(s.walPath(name)); err != nil {
+				return fmt.Errorf("sweep %s: %w", name, err)
+			}
+			continue
+		}
+		if !e.IsDir() {
+			continue
+		}
+		id, err := scenarioDirID(name)
+		if err != nil {
+			return fmt.Errorf("wal dir %q: %w", name, err)
+		}
+		seen[id] = true
+		if err := s.recoverScenario(ctx, id, restored[id]); err != nil {
+			return fmt.Errorf("scenario %q: %w", id, err)
+		}
+	}
+	// Scenarios restored from the snapshot that have no WAL directory yet
+	// (first boot with -wal over a pre-WAL snapshot): start their logs
+	// with a create record carrying the current state, so each log can
+	// rebuild its scenario from seq 1.
+	for id, sc := range restored {
+		if seen[id] || sc.wal != nil {
+			continue
+		}
+		if err := s.seedScenarioWAL(sc); err != nil {
+			return fmt.Errorf("scenario %q: seed wal: %w", id, err)
+		}
+	}
+	s.recovering.Store(false)
+	return nil
+}
+
+// recoverScenario replays one scenario's log on top of its snapshot
+// state (sc == nil when the scenario was created after the snapshot —
+// its create record is in the log).
+func (s *server) recoverScenario(ctx context.Context, id string, sc *scenario) error {
+	l, err := s.openScenarioWAL(id)
+	if err != nil {
+		return err
+	}
+	snapSeq := uint64(0)
+	if sc != nil {
+		snapSeq = sc.walSeq
+	}
+	replayed := 0
+	err = l.Replay(func(rec wal.Record) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if rec.Seq <= snapSeq || rec.Type == wal.TypeAnchor {
+			return nil // covered by the snapshot / not a command
+		}
+		replayed++
+		switch rec.Type {
+		case wal.TypeCreate:
+			if sc != nil {
+				return fmt.Errorf("seq %d: create record for an existing scenario", rec.Seq)
+			}
+			var c walCreate
+			if err := json.Unmarshal(rec.Payload, &c); err != nil {
+				return fmt.Errorf("seq %d: create payload: %w", rec.Seq, err)
+			}
+			if c.ID != id {
+				return fmt.Errorf("seq %d: create record for %q in log of %q", rec.Seq, c.ID, id)
+			}
+			built, err := s.buildScenario(id, c.Spec)
+			if err != nil {
+				return fmt.Errorf("seq %d: rebuild: %w", rec.Seq, err)
+			}
+			sc = built
+		case wal.TypeIngest:
+			if sc == nil {
+				return fmt.Errorf("seq %d: %s record before create", rec.Seq, rec.Type)
+			}
+			updates, err := decodeRates(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", rec.Seq, err)
+			}
+			// Logged commands were validated before logging; a business
+			// error here (or on step/faults below) reproduces the original
+			// run's rejection, which changed nothing — exactly what the
+			// live server answered, so replay ignores it.
+			_, _ = sc.eng.Ingest(updates)
+		case wal.TypeStep:
+			if sc == nil {
+				return fmt.Errorf("seq %d: %s record before create", rec.Seq, rec.Type)
+			}
+			_, _ = sc.eng.Step()
+		case wal.TypeFaults:
+			if sc == nil {
+				return fmt.Errorf("seq %d: %s record before create", rec.Seq, rec.Type)
+			}
+			var f walFaults
+			if err := json.Unmarshal(rec.Payload, &f); err != nil {
+				return fmt.Errorf("seq %d: faults payload: %w", rec.Seq, err)
+			}
+			_, _ = sc.eng.ApplyFaults(context.Background(), f.Inject, f.Heal)
+		default:
+			return fmt.Errorf("seq %d: unknown record type %v", rec.Seq, rec.Type)
+		}
+		sc.walSeq = rec.Seq
+		return nil
+	})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	if sc == nil {
+		// An empty log directory: a create that crashed between opening
+		// the log and appending its first record. The scenario never
+		// existed; drop the husk.
+		l.Close()
+		if err := s.dropWALDir(id); err != nil {
+			return err
+		}
+		return nil
+	}
+	sc.wal = l
+	if replayed > 0 {
+		s.log.Info("wal replayed", "scenario", id, "records", replayed)
+	}
+	if _, loaded := s.scenarios.Get(id); !loaded {
+		s.createMu.Lock()
+		s.scenarios.Insert(id, sc)
+		s.bumpNextID(id)
+		s.createMu.Unlock()
+	}
+	return nil
+}
+
+// seedScenarioWAL starts a log for a scenario that predates the WAL,
+// writing a create record that carries the full current state.
+func (s *server) seedScenarioWAL(sc *scenario) error {
+	l, err := s.openScenarioWAL(sc.ID)
+	if err != nil {
+		return err
+	}
+	blob, err := sc.eng.MarshalState()
+	if err != nil {
+		l.Close()
+		return err
+	}
+	spec := *sc.Spec
+	spec.State = blob
+	payload, err := json.Marshal(walCreate{ID: sc.ID, Spec: &spec})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	sc.wal = l
+	if err := sc.appendWAL(wal.TypeCreate, payload); err != nil {
+		sc.wal = nil
+		l.Close()
+		return err
+	}
+	return nil
+}
+
+// dropWALDir atomically retires a scenario's WAL directory: the rename
+// commits the deletion, the RemoveAll collects it, and the boot sweep
+// collects it if we crash in between.
+func (s *server) dropWALDir(id string) error {
+	dir := s.walPath(scenarioDirName(id))
+	tomb := dir + deletingSuffix
+	// A leftover tombstone from an earlier half-finished delete of the
+	// same id would block the rename; collect it first.
+	_ = s.fs.RemoveAll(tomb)
+	if err := s.fs.Rename(dir, tomb); err != nil {
+		return err
+	}
+	_ = s.fs.SyncDir(s.walDir)
+	return s.fs.RemoveAll(tomb)
+}
+
+// doWithWAL wraps the common mutating-command pattern: run validate
+// (may be nil), append the record, then apply — all serialized inside
+// the scenario's actor. The returned errors are (transport, wal,
+// validation); apply only runs when all three are nil so far.
+func (sc *scenario) doWithWAL(validate func() error, typ wal.Type, payload func() []byte, apply func()) (actorErr, walErr, valErr error) {
+	actorErr = sc.actor.Do(func() {
+		if validate != nil {
+			if err := validate(); err != nil {
+				valErr = err
+				return
+			}
+		}
+		if err := sc.appendWAL(typ, payload()); err != nil {
+			walErr = err
+			return
+		}
+		apply()
+	})
+	return actorErr, walErr, valErr
+}

@@ -380,18 +380,29 @@ type IngestResult struct {
 	Epoch int `json:"epoch"`
 }
 
+// ValidateRates checks a batch of updates against the flow table without
+// applying (or locking) anything. Ingest runs it implicitly; the daemon's
+// write-ahead logger calls it first so a rejected batch never enters the
+// log — every logged ingest is guaranteed to replay cleanly.
+func (e *Engine) ValidateRates(updates []RateUpdate) error {
+	for _, u := range updates {
+		if u.Flow < 0 || u.Flow >= len(e.cfg.Base) {
+			return fmt.Errorf("engine: flow %d out of range [0,%d)", u.Flow, len(e.cfg.Base))
+		}
+		if u.Rate < 0 || math.IsNaN(u.Rate) || math.IsInf(u.Rate, 0) {
+			return fmt.Errorf("engine: flow %d: invalid rate %v", u.Flow, u.Rate)
+		}
+	}
+	return nil
+}
+
 // Ingest folds a batch of rate updates into the pending set of the next
 // epoch, coalescing repeated updates to one flow (last write wins), and
 // returns the batch accounting. The whole batch is validated before any
 // of it lands, so a bad update never half-applies a batch.
 func (e *Engine) Ingest(updates []RateUpdate) (IngestResult, error) {
-	for _, u := range updates {
-		if u.Flow < 0 || u.Flow >= len(e.cfg.Base) {
-			return IngestResult{}, fmt.Errorf("engine: flow %d out of range [0,%d)", u.Flow, len(e.cfg.Base))
-		}
-		if u.Rate < 0 || math.IsNaN(u.Rate) || math.IsInf(u.Rate, 0) {
-			return IngestResult{}, fmt.Errorf("engine: flow %d: invalid rate %v", u.Flow, u.Rate)
-		}
+	if err := e.ValidateRates(updates); err != nil {
+		return IngestResult{}, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -14,6 +14,14 @@
 //  3. bulk      POST /v1/scenarios/{id}/rates:bulk (NDJSON) × BulkRequests
 //  4. read      GET  /v1/scenarios/{id}/placement × ReadRequests
 //
+// When Config.Restart is set, a crash/restart phase runs between bulk
+// and read: the generator records every scenario's accepted-update
+// counter, invokes the hook (which kills and restarts the daemon),
+// waits for the /v1 surface to come back — recovery gates it with 503
+// — and re-reads the counters. Updates the daemon acknowledged but
+// lost across the restart are reported as LostUpdates; with a WAL in
+// `always` mode that number must be zero.
+//
 // Each phase reports throughput and latency quantiles (p50/p90/p99/max).
 // Per-call ingest retries 429 backpressure answers with a short backoff,
 // as the API documentation tells clients to; retries are counted so a
@@ -67,6 +75,17 @@ type Config struct {
 	// ReadRequests is the number of placement snapshot reads (default 256).
 	ReadRequests int
 
+	// Restart, when non-nil, enables the crash/restart phase between the
+	// bulk and read phases. The hook must stop the daemon (however
+	// abruptly it likes) and start a replacement over the same durable
+	// state, returning the replacement's base URL ("" to keep the old
+	// one). The generator then polls until the /v1 surface answers 200 —
+	// while recovery replays the WAL the daemon answers 503 — and
+	// verifies no acknowledged update was lost.
+	Restart func() (newBaseURL string, err error)
+	// RestartTimeout bounds the post-restart recovery wait (default 30s).
+	RestartTimeout time.Duration
+
 	// Seed makes the generated update sequence reproducible.
 	Seed int64
 }
@@ -104,6 +123,9 @@ func (c *Config) setDefaults() {
 	if c.ReadRequests <= 0 {
 		c.ReadRequests = 256
 	}
+	if c.RestartTimeout <= 0 {
+		c.RestartTimeout = 30 * time.Second
+	}
 }
 
 // Phase is the measurement of one load phase.
@@ -122,6 +144,30 @@ type Phase struct {
 	LastError      string  `json:"last_error,omitempty"`
 }
 
+// RestartPhase measures the crash/restart phase: how long the daemon
+// took to serve /v1 again, and whether any acknowledged update survived
+// less than intact.
+type RestartPhase struct {
+	// Seconds is the whole phase: counter capture, hook, recovery wait,
+	// and the post-restart verification reads.
+	Seconds float64 `json:"seconds"`
+	// RecoverySeconds is the wait from the hook returning until the /v1
+	// surface answered 200 — snapshot load plus WAL replay.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	// ScenariosOK counts scenarios whose metrics were readable after the
+	// restart.
+	ScenariosOK int `json:"scenarios_ok"`
+	// UpdatesBefore/UpdatesAfter sum the accepted-update counters across
+	// scenarios on either side of the restart.
+	UpdatesBefore int64 `json:"updates_before"`
+	UpdatesAfter  int64 `json:"updates_after"`
+	// LostUpdates sums, per scenario, the acknowledged updates missing
+	// after recovery. Zero under a WAL in `always` mode; under `interval`
+	// the final sync window is legitimately at risk on a hard kill.
+	LostUpdates int64  `json:"lost_updates"`
+	Error       string `json:"error,omitempty"`
+}
+
 // Report is the full result of a Run.
 type Report struct {
 	Scenarios   int   `json:"scenarios"`
@@ -129,7 +175,9 @@ type Report struct {
 	Create      Phase `json:"create"`
 	PerCall     Phase `json:"percall_ingest"`
 	Bulk        Phase `json:"bulk_ingest"`
-	Read        Phase `json:"placement_read"`
+	// Restart is present only when Config.Restart was set.
+	Restart *RestartPhase `json:"restart,omitempty"`
+	Read    Phase         `json:"placement_read"`
 	// BulkSpeedup is bulk updates/sec over per-call updates/sec — the
 	// headline number the bulk API exists for.
 	BulkSpeedup float64 `json:"bulk_speedup_x"`
@@ -160,6 +208,9 @@ func Run(cfg Config) (*Report, error) {
 	rep.Create = g.runPhase(cfg.Scenarios, g.create)
 	rep.PerCall = g.runPhase(cfg.PerCallRequests, g.perCall)
 	rep.Bulk = g.runPhase(cfg.BulkRequests, g.bulk)
+	if cfg.Restart != nil {
+		rep.Restart = g.restart()
+	}
 	rep.Read = g.runPhase(cfg.ReadRequests, g.read)
 	if rep.PerCall.UpdatesPerSec > 0 {
 		rep.BulkSpeedup = rep.Bulk.UpdatesPerSec / rep.PerCall.UpdatesPerSec
@@ -350,4 +401,106 @@ func (g *generator) read(rng *rand.Rand, i int) opResult {
 		return opResult{err: fmt.Errorf("GET %s: status %d", url, resp.StatusCode)}
 	}
 	return opResult{}
+}
+
+// acceptedUpdates reads every scenario's accepted-update counter from
+// GET /v1/scenarios/{id}/metrics. Unreadable scenarios are skipped (and
+// the last failure returned) so a partial answer still lets the caller
+// count survivors.
+func (g *generator) acceptedUpdates() (map[string]int64, error) {
+	out := make(map[string]int64, g.cfg.Scenarios)
+	var lastErr error
+	for i := 0; i < g.cfg.Scenarios; i++ {
+		id := g.scenarioID(i)
+		url := g.cfg.BaseURL + "/v1/scenarios/" + id + "/metrics"
+		resp, err := g.client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var body struct {
+			Metrics struct {
+				UpdatesAccepted int64 `json:"updates_accepted"`
+			} `json:"metrics"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			lastErr = fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		case err != nil:
+			lastErr = fmt.Errorf("GET %s: %w", url, err)
+		default:
+			out[id] = body.Metrics.UpdatesAccepted
+		}
+	}
+	return out, lastErr
+}
+
+// restart runs the crash/restart phase: capture counters, crash and
+// restart the daemon through the hook, wait out recovery, and account
+// for every update the old daemon had acknowledged.
+func (g *generator) restart() *RestartPhase {
+	ph := &RestartPhase{}
+	start := time.Now()
+	defer func() { ph.Seconds = time.Since(start).Seconds() }()
+
+	before, err := g.acceptedUpdates()
+	if err != nil {
+		ph.Error = fmt.Sprintf("pre-restart counters: %v", err)
+		return ph
+	}
+	for _, n := range before {
+		ph.UpdatesBefore += n
+	}
+
+	newURL, err := g.cfg.Restart()
+	if err != nil {
+		ph.Error = fmt.Sprintf("restart hook: %v", err)
+		return ph
+	}
+	if newURL != "" {
+		g.cfg.BaseURL = newURL
+	}
+
+	// Wait for the /v1 surface: while the replacement replays its WAL it
+	// answers 503, so a 200 here means recovery is complete.
+	recoverStart := time.Now()
+	deadline := recoverStart.Add(g.cfg.RestartTimeout)
+	for {
+		resp, err := g.client.Get(g.cfg.BaseURL + "/v1/scenarios")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			ph.Error = fmt.Sprintf("daemon not serving /v1 within %s of restart", g.cfg.RestartTimeout)
+			return ph
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ph.RecoverySeconds = time.Since(recoverStart).Seconds()
+
+	after, err := g.acceptedUpdates()
+	if err != nil {
+		ph.Error = fmt.Sprintf("post-restart counters: %v", err)
+	}
+	ph.ScenariosOK = len(after)
+	for id, n := range after {
+		ph.UpdatesAfter += n
+		if lost := before[id] - n; lost > 0 {
+			ph.LostUpdates += lost
+		}
+	}
+	// A scenario that vanished entirely lost everything it had accepted.
+	for id, n := range before {
+		if _, ok := after[id]; !ok {
+			ph.LostUpdates += n
+		}
+	}
+	return ph
 }

@@ -1,0 +1,415 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vnfopt/internal/failfs"
+	"vnfopt/internal/obs"
+)
+
+func openTemp(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func replayAll(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(r Record) error {
+		out = append(out, Record{Type: r.Type, Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAppendReplayRoundTrip: records come back in order, bitwise, with
+// contiguous seqs, across a close/reopen boundary.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Type: TypeCreate, Payload: []byte(`{"id":"s1"}`)},
+		{Type: TypeIngest, Payload: []byte{1, 2, 3, 4, 5}},
+		{Type: TypeStep, Payload: nil},
+		{Type: TypeFaults, Payload: []byte(`{"inject":[]}`)},
+	}
+	for i := range want {
+		seq, err := l.Append(want[i].Type, want[i].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+		want[i].Seq = seq
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || got[i].Seq != want[i].Seq || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Appends continue the seq chain after reopen.
+	seq, err := l2.Append(TypeStep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(want)+1) {
+		t.Fatalf("post-reopen seq %d, want %d", seq, len(want)+1)
+	}
+}
+
+// TestSegmentRotationAndCompaction: a small segment size forces
+// rotation; anchoring at an applied seq deletes exactly the segments
+// the snapshot covers, and replay of the survivors starts past the
+// anchor-covered prefix.
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	var lastSeq uint64
+	for i := 0; i < 40; i++ {
+		if lastSeq, err = l.Append(TypeIngest, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	before := l.Segments()
+
+	anchor := lastSeq - 5
+	if err := l.Anchor(anchor); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() >= before {
+		t.Fatalf("compaction removed nothing: %d -> %d segments", before, l.Segments())
+	}
+	// Every surviving record below the anchor must still chain correctly,
+	// and nothing at or after anchor+1 may be missing.
+	got := replayAll(t, l)
+	if got[0].Seq > anchor+1 {
+		t.Fatalf("compaction deleted too much: first surviving seq %d > anchor+1 %d", got[0].Seq, anchor+1)
+	}
+	last := got[len(got)-1]
+	if last.Type != TypeAnchor {
+		t.Fatalf("last record %v, want anchor", last.Type)
+	}
+	if v := binary.LittleEndian.Uint64(last.Payload); v != anchor {
+		t.Fatalf("anchor payload %d, want %d", v, anchor)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("seq gap %d -> %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+// TestReopenAfterCompaction: a compacted log no longer starts at seq 1;
+// reopening must accept a chain that begins at the first surviving
+// segment and keep appending from the true tail.
+func TestReopenAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xCD}, 64)
+	var last uint64
+	for i := 0; i < 30; i++ {
+		if last, err = l.Append(TypeIngest, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Anchor(last - 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if got[0].Seq == 1 {
+		t.Fatal("compaction removed nothing; test is vacuous")
+	}
+	if seq, err := l2.Append(TypeStep, nil); err != nil || seq != last+2 {
+		t.Fatalf("append after reopen: seq %d err %v, want %d", seq, err, last+2)
+	}
+}
+
+// TestTornTailTruncated: cutting the final record at every possible
+// byte boundary still recovers — the valid prefix replays, the torn
+// tail is dropped, and the next append reuses its seq.
+func TestTornTailTruncated(t *testing.T) {
+	build := func(t *testing.T) (string, int) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append(TypeIngest, []byte{byte(i), 0xFF, byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, len(data)
+	}
+
+	dir, full := build(t)
+	recLen := (full - headerSize) / 3
+	for cut := full - recLen + 1; cut < full; cut++ {
+		dir, _ := build(t)
+		path := filepath.Join(dir, segName(1))
+		if err := os.Truncate(path, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		got := replayAll(t, l)
+		if len(got) != 2 {
+			t.Fatalf("cut=%d: replayed %d records, want 2", cut, len(got))
+		}
+		if l.TruncatedTails() != 1 {
+			t.Fatalf("cut=%d: truncated %d tails, want 1", cut, l.TruncatedTails())
+		}
+		if seq, err := l.Append(TypeStep, nil); err != nil || seq != 3 {
+			t.Fatalf("cut=%d: append after truncation: seq %d err %v", cut, seq, err)
+		}
+		l.Close()
+	}
+	_ = dir
+}
+
+// TestCorruptTailTruncated: flipping a byte inside the final record's
+// body (checksum break rather than a short frame) is also recovered by
+// truncation.
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(TypeIngest, bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40 // inside the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+}
+
+// TestMidChainCorruptionRejected: damage before the tail cannot be a
+// torn write; Open must refuse rather than silently drop acknowledged
+// records that follow.
+func TestMidChainCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(TypeIngest, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Corrupt the first (non-final) segment.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on mid-chain corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSyncPolicies: always fsyncs per append, interval group-commits,
+// os never syncs on append; all sync on close.
+func TestSyncPolicies(t *testing.T) {
+	reg := obs.NewRegistry()
+	count := func(policy SyncPolicy, every time.Duration, appends int) int64 {
+		m := NewMetrics(reg)
+		l := openTemp(t, Options{Policy: policy, SyncEvery: every, Metrics: m})
+		before := m.syncs.Value()
+		for i := 0; i < appends; i++ {
+			if _, err := l.Append(TypeStep, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.syncs.Value() - before
+	}
+	if got := count(SyncAlways, 0, 10); got < 10 {
+		t.Fatalf("always policy synced %d times for 10 appends", got)
+	}
+	if got := count(SyncInterval, time.Hour, 10); got > 1 {
+		t.Fatalf("interval(1h) policy synced %d times for 10 appends, want <= 1", got)
+	}
+	if got := count(SyncOS, 0, 10); got > 1 {
+		t.Fatalf("os policy synced %d times on append path, want <= 1 (segment create)", got)
+	}
+}
+
+// TestAppendFailurePoisonsLog: a crashed write leaves the log refusing
+// further appends (the tail is suspect) until reopened, and the reopen
+// recovers the acknowledged prefix.
+func TestAppendFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	ffs := failfs.NewFaulty(failfs.OS)
+	l, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(TypeIngest, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashAt(1, true) // next write tears
+	if _, err := l.Append(TypeIngest, []byte("doomed-record-payload")); err == nil {
+		t.Fatal("append through crashed fs succeeded")
+	}
+	if _, err := l.Append(TypeStep, nil); err == nil {
+		t.Fatal("append on poisoned log succeeded")
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0].Payload) != "ok" {
+		t.Fatalf("recovered %d records (%q), want the acknowledged prefix only", len(got), got)
+	}
+}
+
+// TestConcurrentAppendAnchor exercises the append path racing Anchor
+// (the daemon's snapshot loop) under -race.
+func TestConcurrentAppendAnchor(t *testing.T) {
+	l := openTemp(t, Options{SegmentBytes: 512})
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := l.Append(TypeIngest, bytes.Repeat([]byte{1}, 32)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 20; i++ {
+		seq := l.NextSeq()
+		if seq > 1 {
+			if err := l.Anchor(seq - 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The chain must still be contiguous end-to-end.
+	var prev uint64
+	if err := l.Replay(func(r Record) error {
+		if prev != 0 && r.Seq != prev+1 {
+			return fmt.Errorf("seq gap %d -> %d", prev, r.Seq)
+		}
+		prev = r.Seq
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayCallbackErrorPropagates: the callback's own error comes
+// back unchanged (recovery cancellation relies on this).
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	l := openTemp(t, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(TypeStep, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop here")
+	n := 0
+	err := l.Replay(func(Record) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("replay error %v, want sentinel", err)
+	}
+	if n != 2 {
+		t.Fatalf("callback ran %d times, want 2", n)
+	}
+}
