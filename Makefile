@@ -82,7 +82,7 @@ bench-wal-full:
 # flavors) and demand bit-identical recovery, plus the replay-abort and
 # compaction-race invariants.
 crash-smoke:
-	$(GO) test -race -run 'TestCrashInjectionBitIdentical|TestRecoveryCancelLeavesLogIntact|TestSnapshotCompactionRacesIngest|TestWALDeleteAtomicity' ./cmd/vnfoptd/
+	$(GO) test -race -run 'TestCrashInjectionBitIdentical|TestRecoveryCancelLeavesLogIntact|TestSnapshotCompactionRacesIngest|TestWALDeleteAtomicity|TestSeedCrashThenReboot|TestWALToggleRefused|TestGenerationMismatchRefused|TestWALDirMissingWithGenRefused|TestDeleteCommittedNoResurrect|TestDeletingSuffixIDIsSafe|TestDeleteWALRetireFailure' ./cmd/vnfoptd/
 	$(GO) test -race ./internal/wal/ ./internal/failfs/
 
 # Seeded chaos run under the race detector: a deterministic fault

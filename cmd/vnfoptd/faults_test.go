@@ -187,7 +187,7 @@ func TestSnapshotTornWriteSafety(t *testing.T) {
 		t.Fatal("temp file left behind after successful save")
 	}
 	srv2 := newServer()
-	if _, err := srv2.loadSnapshot(path); err != nil {
+	if _, _, err := srv2.loadSnapshot(path); err != nil {
 		t.Fatalf("snapshot unreadable after save over torn temp: %v", err)
 	}
 	if srv2.get(created.ID) == nil {

@@ -235,9 +235,13 @@ type scenario struct {
 	// walSeq is the seq of the last command appended for this scenario:
 	// written only from the actor (appendWAL) or before the scenario is
 	// published, read via actor.Do — or directly once the actor has
-	// drained (snapshot-at-shutdown).
+	// drained (snapshot-at-shutdown). walGen identifies the log's
+	// incarnation (see walMeta); immutable once the scenario is
+	// published, stamped into every snapshot so boot can refuse to replay
+	// a log against a snapshot it does not extend.
 	wal    *wal.Log
 	walSeq uint64
+	walGen string
 }
 
 // status classifies the scenario for the list filter.
@@ -513,9 +517,14 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		l, err := s.openScenarioWAL(id)
 		if err == nil {
 			sc.wal = l
-			var payload []byte
-			if payload, err = json.Marshal(walCreate{ID: id, Spec: &spec}); err == nil {
-				err = sc.appendWAL(wal.TypeCreate, payload)
+			sc.walGen = newWALGen()
+			// Meta before the first record: recovery refuses records it
+			// cannot tie to a generation.
+			if err = s.writeWALMeta(id, walMeta{Gen: sc.walGen}); err == nil {
+				var payload []byte
+				if payload, err = json.Marshal(walCreate{ID: id, Spec: &spec}); err == nil {
+					err = sc.appendWAL(wal.TypeCreate, payload)
+				}
 			}
 		}
 		if err != nil {
@@ -618,6 +627,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sc, ok := s.scenarios.Delete(id)
 	if !ok {
+		if s.retryWALDelete(w, id) {
+			return
+		}
 		writeError(w, codeNotFound, "no scenario %q", id)
 		return
 	}
@@ -626,10 +638,45 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if sc.wal != nil {
 		sc.wal.Close()
 		if err := s.dropWALDir(id); err != nil {
+			// The scenario is gone from the registry but its log survived:
+			// the next boot would resurrect it. A 200 here would
+			// acknowledge a deletion that is not durable — answer 500 and
+			// let the client retry (retryWALDelete finishes the job).
 			s.log.Error("wal delete", slog.String("scenario", id), slog.Any("err", err))
+			writeError(w, codeInternal, "scenario %q removed but its wal could not be retired (retry the delete): %v", id, err)
+			return
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "drained": drained})
+}
+
+// retryWALDelete finishes a delete whose earlier attempt removed the
+// scenario from the registry but failed to retire its WAL directory
+// (and answered 500). If such an orphaned directory exists, retire it
+// and acknowledge; reports whether it wrote a response. createMu
+// excludes a concurrent re-create of the same id mid-drop.
+func (s *server) retryWALDelete(w http.ResponseWriter, id string) bool {
+	if !s.walEnabled() {
+		return false
+	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if _, live := s.scenarios.Get(id); live {
+		// Re-created since the lookup miss; the caller's 404 would now be
+		// wrong, but so would deleting the new scenario's log — let the
+		// client retry against the live scenario.
+		writeError(w, codeConflict, "scenario %q was re-created, retry", id)
+		return true
+	}
+	if _, err := s.fs.Stat(s.walPath(scenarioDirName(id))); err != nil {
+		return false
+	}
+	if err := s.dropWALDir(id); err != nil {
+		writeError(w, codeInternal, "scenario %q: wal: %v", id, err)
+		return true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "drained": 0})
+	return true
 }
 
 // ratesRequest is the delta-ingest body: a batch of per-flow rate updates,
@@ -781,11 +828,15 @@ func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		// engine about whether the transition applied.
 		ctx = context.WithoutCancel(ctx)
 	}
-	payload := func() []byte {
-		b, _ := json.Marshal(walFaults{Inject: req.Inject, Heal: req.Heal})
-		return b
+	// Marshal outside the actor and fail the request on error: appending
+	// an unparseable (empty) payload would poison the log — its replay
+	// aborts every future recovery.
+	payload, err := json.Marshal(walFaults{Inject: req.Inject, Heal: req.Heal})
+	if err != nil {
+		writeError(w, codeInternal, "scenario %q: wal payload: %v", id, err)
+		return
 	}
-	actorErr, walErr, _ := sc.doWithWAL(nil, wal.TypeFaults, payload, func() {
+	actorErr, walErr, _ := sc.doWithWAL(nil, wal.TypeFaults, func() []byte { return payload }, func() {
 		res, faultErr = sc.eng.ApplyFaults(ctx, req.Inject, req.Heal)
 	})
 	switch {
@@ -1001,6 +1052,10 @@ type persistedScenario struct {
 	ID     string        `json:"id"`
 	Spec   *ScenarioSpec `json:"spec"`
 	WalSeq uint64        `json:"wal_seq,omitempty"`
+	// WalGen is the generation of the log the WalSeq refers to (empty
+	// when the snapshot was taken without a WAL — such a snapshot can
+	// never be combined with a pre-existing log at boot).
+	WalGen string `json:"wal_gen,omitempty"`
 }
 
 // saveSnapshot writes every scenario's spec+state to path atomically
@@ -1035,9 +1090,13 @@ func (s *server) saveSnapshot(path string) error {
 		var (
 			blob   json.RawMessage
 			seq    uint64
+			gen    string
 			capErr error
 		)
 		if sc.wal != nil {
+			// walGen is immutable after publish; only (state, seq) need
+			// the actor's atomicity.
+			gen = sc.walGen
 			err := sc.actor.Do(func() {
 				blob, capErr = sc.eng.MarshalState()
 				seq = sc.walSeq
@@ -1057,7 +1116,7 @@ func (s *server) saveSnapshot(path string) error {
 		}
 		spec := *sc.Spec
 		spec.State = blob
-		out = append(out, persistedScenario{ID: id, Spec: &spec, WalSeq: seq})
+		out = append(out, persistedScenario{ID: id, Spec: &spec, WalSeq: seq, WalGen: gen})
 		if sc.wal != nil {
 			anchors[sc] = seq
 		}
@@ -1084,36 +1143,38 @@ func (s *server) saveSnapshot(path string) error {
 }
 
 // loadSnapshot restores scenarios from a snapshot file into the
-// registry and returns them by id (for the WAL replay that follows); a
-// missing file is a clean first boot.
-func (s *server) loadSnapshot(path string) (map[string]*scenario, error) {
+// registry and returns them by id plus the file's content hash (both
+// for the WAL replay that follows — the hash resolves seed-crash
+// recovery); a missing file is a clean first boot.
+func (s *server) loadSnapshot(path string) (map[string]*scenario, string, error) {
 	restored := make(map[string]*scenario)
 	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return restored, nil
+			return restored, "", nil
 		}
-		return nil, err
+		return nil, "", err
 	}
 	var in []persistedScenario
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+		return nil, "", fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	s.createMu.Lock()
 	defer s.createMu.Unlock()
 	for _, ps := range in {
 		sc, err := s.buildScenario(ps.ID, ps.Spec)
 		if err != nil {
-			return nil, fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
+			return nil, "", fmt.Errorf("snapshot scenario %s: %w", ps.ID, err)
 		}
 		sc.walSeq = ps.WalSeq
+		sc.walGen = ps.WalGen
 		if !s.scenarios.Insert(ps.ID, sc) {
-			return nil, fmt.Errorf("snapshot scenario %s: duplicate id", ps.ID)
+			return nil, "", fmt.Errorf("snapshot scenario %s: duplicate id", ps.ID)
 		}
 		restored[ps.ID] = sc
 		s.bumpNextID(ps.ID)
 	}
-	return restored, nil
+	return restored, snapshotHash(data), nil
 }
 
 // bumpNextID advances the auto-id counter past a restored scenario's

@@ -389,7 +389,7 @@ func TestDaemonSnapshotFileRoundTrip(t *testing.T) {
 	}
 
 	srv2 := newServer()
-	if _, err := srv2.loadSnapshot(path); err != nil {
+	if _, _, err := srv2.loadSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	ts2 := httptest.NewServer(srv2.handler())
@@ -410,7 +410,7 @@ func TestDaemonSnapshotFileRoundTrip(t *testing.T) {
 		t.Fatalf("id collision after restore: %s", created2.ID)
 	}
 	// A missing snapshot file is a clean boot.
-	if _, err := newServer().loadSnapshot(t.TempDir() + "/none.json"); err != nil {
+	if _, _, err := newServer().loadSnapshot(t.TempDir() + "/none.json"); err != nil {
 		t.Fatal(err)
 	}
 }

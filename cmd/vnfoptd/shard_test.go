@@ -422,7 +422,7 @@ func TestSnapshotDuringDrain(t *testing.T) {
 	close(gate)
 
 	srv2 := newServer()
-	if _, err := srv2.loadSnapshot(path); err != nil {
+	if _, _, err := srv2.loadSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	if srv2.get("snap") == nil {

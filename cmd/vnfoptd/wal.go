@@ -2,14 +2,20 @@ package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/url"
+	"os"
 	"strings"
+	"time"
 
 	"vnfopt/internal/engine"
+	"vnfopt/internal/failfs"
 	"vnfopt/internal/fault"
 	"vnfopt/internal/wal"
 )
@@ -84,7 +90,12 @@ func decodeRates(payload []byte) ([]engine.RateUpdate, error) {
 // scenarioDirName maps a scenario id to its WAL directory name.
 // PathEscape keeps separators and other filesystem-hostile bytes out;
 // "." and ".." (which PathEscape passes through) are forced into escaped
-// forms so an id can never walk out of the WAL root.
+// forms so an id can never walk out of the WAL root. A trailing
+// ".deleting" (also passed through by PathEscape) is force-escaped too:
+// a live scenario directory must never collide with the delete-tombstone
+// namespace, or the boot sweep would destroy its acknowledged records.
+// PathEscape never emits "%2E" itself ('.' is unreserved), so the forced
+// form cannot collide with any other id's escape.
 func scenarioDirName(id string) string {
 	switch id {
 	case ".":
@@ -92,7 +103,11 @@ func scenarioDirName(id string) string {
 	case "..":
 		return "%2E%2E"
 	}
-	return url.PathEscape(id)
+	name := url.PathEscape(id)
+	if strings.HasSuffix(name, deletingSuffix) {
+		name = name[:len(name)-len(deletingSuffix)] + "%2E" + deletingSuffix[1:]
+	}
+	return name
 }
 
 // scenarioDirID is the inverse of scenarioDirName, for the boot scan.
@@ -105,6 +120,77 @@ func scenarioDirID(name string) (string, error) {
 // RemoveAll after it is garbage collection, and the boot scan sweeps any
 // leftovers — so a crash mid-delete can never resurrect the scenario.
 const deletingSuffix = ".deleting"
+
+// walMetaFile sits next to a scenario's segments and ties the log to the
+// snapshots taken over it. It does not match the *.wal segment pattern,
+// so the log layer ignores it.
+const walMetaFile = "meta.json"
+
+// walMeta identifies one incarnation of a scenario's log. Gen is stamped
+// into every snapshot captured while the log is live; at boot a snapshot
+// may only be combined with the log whose generation it recorded —
+// anything else (the WAL was toggled off and state advanced un-logged,
+// the WAL root was swapped, the scenario was deleted and re-created)
+// would replay a log against a state it does not extend.
+type walMeta struct {
+	Gen string `json:"gen"`
+	// SeededFrom is set when the log was seeded over a snapshot that
+	// predates the WAL: the SHA-256 of that snapshot file's bytes. It
+	// resolves the one legitimate "snapshot has no generation but a log
+	// exists" boot: if the loaded snapshot still hashes to SeededFrom, the
+	// seed create record (which embeds that exact state) is authoritative
+	// and recovery rebuilds from it; any other hash means the snapshot
+	// moved on without the log, and recovery refuses.
+	SeededFrom string `json:"seeded_from,omitempty"`
+}
+
+// newWALGen mints a fresh log-incarnation id.
+func newWALGen() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Generations only need to differ across log incarnations.
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// writeWALMeta persists a scenario's meta file atomically. It must be
+// durable before the log's first record: a record without a meta file is
+// unrecoverable by design (recovery refuses logs it cannot tie to a
+// generation).
+func (s *server) writeWALMeta(id string, m walMeta) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := s.walPath(scenarioDirName(id)) + "/" + walMetaFile
+	return failfs.WriteFileAtomic(s.fs, path, b, 0o644)
+}
+
+// readWALMeta loads a scenario's meta file; a missing file is a zero
+// meta (an empty directory husk from a crashed create).
+func (s *server) readWALMeta(id string) (walMeta, error) {
+	path := s.walPath(scenarioDirName(id)) + "/" + walMetaFile
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return walMeta{}, nil
+		}
+		return walMeta{}, err
+	}
+	var m walMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return walMeta{}, fmt.Errorf("wal meta %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// snapshotHash fingerprints a snapshot file's bytes for the seed
+// linkage.
+func snapshotHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
 
 // walEnabled reports whether the daemon runs with a write-ahead log.
 func (s *server) walEnabled() bool { return s.walDir != "" }
@@ -154,7 +240,7 @@ func (sc *scenario) appendWAL(typ wal.Type, payload []byte) error {
 // must never snapshot (that would capture partial state and compact
 // away log records the next recovery still needs).
 func (s *server) recoverState(ctx context.Context, snapshotPath string) error {
-	restored, err := s.loadSnapshot(snapshotPath)
+	restored, snapHash, err := s.loadSnapshot(snapshotPath)
 	if err != nil {
 		return err
 	}
@@ -169,17 +255,30 @@ func (s *server) recoverState(ctx context.Context, snapshotPath string) error {
 	if err != nil {
 		return fmt.Errorf("wal root: %w", err)
 	}
+	// Pass 1 — sweep delete tombstones, remembering which ids they
+	// retire. A tombstone is the commit point of an acked delete, so the
+	// snapshot copy of that scenario is dead: it must not be replayed
+	// (pass 2, when the id was re-created) nor kept or re-seeded (pass 3).
+	// Sweeping first also means a tombstone that sorts after its id's
+	// re-created live directory is still seen in time.
+	swept := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, deletingSuffix) {
+			continue
+		}
+		if id, err := scenarioDirID(strings.TrimSuffix(name, deletingSuffix)); err == nil {
+			swept[id] = true
+		}
+		if err := s.fs.RemoveAll(s.walPath(name)); err != nil {
+			return fmt.Errorf("sweep %s: %w", name, err)
+		}
+	}
+	// Pass 2 — replay every live scenario log over its snapshot state.
 	seen := make(map[string]bool)
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasSuffix(name, deletingSuffix) {
-			// A delete that committed (rename) but didn't finish collecting.
-			if err := s.fs.RemoveAll(s.walPath(name)); err != nil {
-				return fmt.Errorf("sweep %s: %w", name, err)
-			}
-			continue
-		}
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasSuffix(name, deletingSuffix) {
 			continue
 		}
 		id, err := scenarioDirID(name)
@@ -187,19 +286,32 @@ func (s *server) recoverState(ctx context.Context, snapshotPath string) error {
 			return fmt.Errorf("wal dir %q: %w", name, err)
 		}
 		seen[id] = true
-		if err := s.recoverScenario(ctx, id, restored[id]); err != nil {
+		if err := s.recoverScenario(ctx, id, restored[id], snapHash, swept[id]); err != nil {
 			return fmt.Errorf("scenario %q: %w", id, err)
 		}
 	}
-	// Scenarios restored from the snapshot that have no WAL directory yet
-	// (first boot with -wal over a pre-WAL snapshot): start their logs
-	// with a create record carrying the current state, so each log can
-	// rebuild its scenario from seq 1.
+	// Pass 3 — snapshot scenarios without a live WAL directory.
 	for id, sc := range restored {
 		if seen[id] || sc.wal != nil {
 			continue
 		}
-		if err := s.seedScenarioWAL(sc); err != nil {
+		if swept[id] {
+			// The delete committed after the snapshot was taken; finish it.
+			s.scenarios.Delete(id)
+			sc.actor.Close()
+			continue
+		}
+		if sc.walGen != "" {
+			// The snapshot says this scenario had a log (generation
+			// recorded) but the directory is gone: acknowledged records
+			// were lost. Refuse rather than silently serve the stale
+			// snapshot state.
+			return fmt.Errorf("scenario %q: wal directory missing but snapshot records wal generation %s (wrong -wal root?)", id, sc.walGen)
+		}
+		// First boot with -wal over a pre-WAL snapshot: start the log with
+		// a create record carrying the current state, so it can rebuild
+		// its scenario from seq 1.
+		if err := s.seedScenarioWAL(sc, snapHash); err != nil {
 			return fmt.Errorf("scenario %q: seed wal: %w", id, err)
 		}
 	}
@@ -207,17 +319,51 @@ func (s *server) recoverState(ctx context.Context, snapshotPath string) error {
 	return nil
 }
 
-// recoverScenario replays one scenario's log on top of its snapshot
-// state (sc == nil when the scenario was created after the snapshot —
-// its create record is in the log).
-func (s *server) recoverScenario(ctx context.Context, id string, sc *scenario) error {
+// recoverScenario replays one scenario's log. The normal shapes: snapSc
+// == nil (the scenario was created after the snapshot — its create
+// record is in the log) replays from scratch; snapSc with a recorded
+// generation matching the log's replays the suffix past the snapshot's
+// applied seq. Two recorded histories discard the snapshot shard and
+// rebuild from the log alone: sweptOld (the snapshot-era log was retired
+// by an acked delete, so this directory belongs to a re-created
+// successor) and a seed log whose SeededFrom still matches the loaded
+// snapshot (the boot that seeded it crashed before the next snapshot
+// could record the linkage — the seed create record embeds that exact
+// state). Every other snapshot/log pairing is refused: replaying a log
+// against a state it does not extend would diverge silently.
+func (s *server) recoverScenario(ctx context.Context, id string, snapSc *scenario, snapHash string, sweptOld bool) error {
 	l, err := s.openScenarioWAL(id)
 	if err != nil {
 		return err
 	}
+	meta, err := s.readWALMeta(id)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	sc := snapSc
 	snapSeq := uint64(0)
-	if sc != nil {
-		snapSeq = sc.walSeq
+	rebuilt := false
+	switch {
+	case snapSc == nil:
+		// Created after the snapshot; the log carries its create record.
+	case sweptOld:
+		sc, rebuilt = nil, true
+	case snapSc.walGen != "":
+		if meta.Gen != snapSc.walGen {
+			l.Close()
+			return fmt.Errorf("wal generation mismatch: snapshot records %s, log is %s — the log does not extend this snapshot (wrong -wal root, or the scenario was re-created?); clear the log directory or restore the matching snapshot", snapSc.walGen, orUnset(meta.Gen))
+		}
+		snapSeq = snapSc.walSeq
+	default:
+		// The snapshot has no WAL linkage (pre-WAL, or taken with -wal
+		// off): only a log seeded from exactly this snapshot may be
+		// combined with it.
+		if meta.SeededFrom == "" || meta.SeededFrom != snapHash {
+			l.Close()
+			return fmt.Errorf("snapshot has no wal generation but a log exists (generation %s) — the snapshot advanced without the log (was -wal toggled off and back on?); clear the log directory or restore the matching snapshot", orUnset(meta.Gen))
+		}
+		sc, rebuilt = nil, true
 	}
 	replayed := 0
 	err = l.Replay(func(rec wal.Record) error {
@@ -283,33 +429,75 @@ func (s *server) recoverScenario(ctx context.Context, id string, sc *scenario) e
 		return err
 	}
 	if sc == nil {
-		// An empty log directory: a create that crashed between opening
-		// the log and appending its first record. The scenario never
-		// existed; drop the husk.
+		// An empty log directory: a create (or a re-seed) that crashed
+		// between opening the log and appending its first record. Drop the
+		// husk; what happens to the snapshot shard depends on why there is
+		// none in the log.
 		l.Close()
 		if err := s.dropWALDir(id); err != nil {
 			return err
 		}
-		return nil
+		switch {
+		case snapSc == nil:
+			// The scenario never existed.
+			return nil
+		case sweptOld:
+			// The delete committed; the husk was an aborted re-create.
+			// Finish the delete.
+			s.scenarios.Delete(id)
+			snapSc.actor.Close()
+			return nil
+		default:
+			// An aborted seed (meta durable, create record never landed):
+			// the snapshot shard is still authoritative — seed it again.
+			return s.seedScenarioWAL(snapSc, snapHash)
+		}
+	}
+	if meta.Gen == "" {
+		l.Close()
+		return fmt.Errorf("wal log has records but no meta file — cannot tie it to a generation; clear the log directory")
 	}
 	sc.wal = l
+	sc.walGen = meta.Gen
 	if replayed > 0 {
 		s.log.Info("wal replayed", "scenario", id, "records", replayed)
 	}
-	if _, loaded := s.scenarios.Get(id); !loaded {
-		s.createMu.Lock()
+	s.createMu.Lock()
+	if rebuilt && snapSc != nil {
+		// The log, not the snapshot, is this id's history: swap the
+		// snapshot-built shard out of the registry.
+		snapSc.actor.Close()
+		s.scenarios.Set(id, sc)
+	} else if _, loaded := s.scenarios.Get(id); !loaded {
 		s.scenarios.Insert(id, sc)
-		s.bumpNextID(id)
-		s.createMu.Unlock()
 	}
+	s.bumpNextID(id)
+	s.createMu.Unlock()
 	return nil
 }
 
+// orUnset renders a possibly-empty generation for error messages.
+func orUnset(gen string) string {
+	if gen == "" {
+		return "unset"
+	}
+	return gen
+}
+
 // seedScenarioWAL starts a log for a scenario that predates the WAL,
-// writing a create record that carries the full current state.
-func (s *server) seedScenarioWAL(sc *scenario) error {
+// writing a create record that carries the full current state. The meta
+// file — generation plus the hash of the snapshot being seeded over —
+// is made durable first, so a crash between seeding and the next
+// snapshot is recoverable: the next boot sees the same snapshot hash,
+// trusts the seed create record, and rebuilds from it.
+func (s *server) seedScenarioWAL(sc *scenario, snapHash string) error {
 	l, err := s.openScenarioWAL(sc.ID)
 	if err != nil {
+		return err
+	}
+	gen := newWALGen()
+	if err := s.writeWALMeta(sc.ID, walMeta{Gen: gen, SeededFrom: snapHash}); err != nil {
+		l.Close()
 		return err
 	}
 	blob, err := sc.eng.MarshalState()
@@ -325,8 +513,10 @@ func (s *server) seedScenarioWAL(sc *scenario) error {
 		return err
 	}
 	sc.wal = l
+	sc.walGen = gen
 	if err := sc.appendWAL(wal.TypeCreate, payload); err != nil {
 		sc.wal = nil
+		sc.walGen = ""
 		l.Close()
 		return err
 	}

@@ -65,6 +65,25 @@ func (m *Map[V]) Insert(key string, v V) bool {
 	return true
 }
 
+// Set publishes key → v unconditionally, returning the value it
+// replaced and whether one was present. Insert refuses to overwrite a
+// live entry; Set exists for the rare paths that must swap one out
+// under their own serialization — e.g. boot recovery replacing a
+// snapshot-built shard with its WAL-rebuilt successor.
+func (m *Map[V]) Set(key string, v V) (prev V, replaced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.p.Load()
+	prev, replaced = old[key]
+	next := make(map[string]V, len(old)+1)
+	for k, val := range old {
+		next[k] = val
+	}
+	next[key] = v
+	m.p.Store(&next)
+	return prev, replaced
+}
+
 // Delete removes key, returning the removed value and whether it was
 // present.
 func (m *Map[V]) Delete(key string) (V, bool) {

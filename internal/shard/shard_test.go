@@ -41,6 +41,25 @@ func TestMapBasics(t *testing.T) {
 	}
 }
 
+func TestMapSet(t *testing.T) {
+	m := NewMap[int]()
+	if prev, replaced := m.Set("a", 1); replaced {
+		t.Fatalf("Set on empty map replaced %v", prev)
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v after Set", v, ok)
+	}
+	if prev, replaced := m.Set("a", 2); !replaced || prev != 1 {
+		t.Fatalf("Set over live key: prev %v, replaced %v", prev, replaced)
+	}
+	if v, _ := m.Get("a"); v != 2 {
+		t.Fatalf("Get(a) = %v after overwrite", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len %d after overwrite", m.Len())
+	}
+}
+
 // TestMapRangeSnapshot: a Range walk sees the copy published at call
 // time, regardless of concurrent mutation.
 func TestMapRangeSnapshot(t *testing.T) {
