@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-sfcroute bench-daemon bench-daemon-full bench-wal bench-wal-full crash-smoke fuzz chaos-smoke
+.PHONY: check vet fmt build test race bench bench-smoke bench-solver bench-kernels bench-apsp-delta bench-apsp-weight bench-sfcroute bench-daemon bench-daemon-full bench-wal bench-wal-full crash-smoke fuzz chaos-smoke
 
-check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-sfcroute bench-daemon bench-wal chaos-smoke crash-smoke
+check: vet fmt build race bench-smoke bench-solver bench-apsp-delta bench-apsp-weight bench-sfcroute bench-daemon bench-wal chaos-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,16 @@ bench-solver:
 # (results/BENCH_apsp.json records the full numbers).
 bench-apsp-delta:
 	$(GO) test -run TestFaultEventIncrementalMatchesRebuild -bench BenchmarkFaultEvent -benchtime 1x -short ./internal/fault/
+
+# Bitwise assert plus one-iteration smoke of the weight-delta APSP path
+# (degrade faults / link re-pricing) against the full rebuild: every
+# weight event must produce a view identical to Rebuild through a
+# degrade -> re-price -> heal chain before the bench harness runs once
+# over the -short topologies (results/BENCH_apsp.json records the full
+# numbers under "weight_events", including the k=32 fat tree and the
+# 10k-switch jellyfish from the non-short run).
+bench-apsp-weight:
+	$(GO) test -run TestWeightEventIncrementalMatchesRebuild -bench BenchmarkWeightEvent -benchtime 1x -short ./internal/fault/
 
 # Differential assert plus one-iteration smoke of the layered SFC
 # routing subsystem: the layered shortest path must reproduce the
@@ -110,6 +120,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDifferential -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzFaultHealRoundTrip -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzIncrementalAPSP -fuzztime 30s -run xxx ./internal/fault/
+	$(GO) test -fuzz FuzzWeightDeltaAPSP -fuzztime 30s -run xxx ./internal/fault/
 	$(GO) test -fuzz FuzzParallelKernel -fuzztime 30s -run xxx ./internal/differential/
 	$(GO) test -fuzz FuzzMinCostFlow -fuzztime 30s -run xxx ./internal/mcf/
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s -run xxx ./internal/wal/

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"vnfopt/internal/benchmeta"
 	"vnfopt/internal/failfs"
 	"vnfopt/internal/loadgen"
 	"vnfopt/internal/wal"
@@ -21,6 +22,8 @@ import (
 // mode over the baseline on the bulk-ingest path, which is where the
 // log cost concentrates (one record per NDJSON line batch).
 type walBenchReport struct {
+	// Host pins the machine and toolchain the numbers were recorded on.
+	Host     benchmeta.Host  `json:"host"`
 	Baseline *loadgen.Report `json:"baseline"`
 	Interval *loadgen.Report `json:"wal_interval"`
 	Always   *loadgen.Report `json:"wal_always"`
@@ -148,6 +151,7 @@ func TestBenchWAL(t *testing.T) {
 	cfg := walBenchConfig(full)
 
 	rep := &walBenchReport{
+		Host:     benchmeta.Collect(),
 		Baseline: runWALBenchArm(t, cfg, "", false),
 		Interval: runWALBenchArm(t, cfg, wal.SyncInterval, true),
 		Always:   runWALBenchArm(t, cfg, wal.SyncAlways, true),

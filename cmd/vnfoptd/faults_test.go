@@ -232,3 +232,69 @@ func TestRequestBodyBounded(t *testing.T) {
 		t.Fatalf("oversized body: %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestDegradeFaultAPI drives the degrade action through the HTTP
+// surface: inject with a factor, observe the weight-delta metrics and
+// active set (factor echoed), heal naming only the link, and reject
+// malformed factors with 422.
+func TestDegradeFaultAPI(t *testing.T) {
+	srv := newServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	do(t, ts, "POST", "/v1/scenarios", ScenarioSpec{Name: "soft", Flows: 16, Seed: 3}, &created)
+	path := fmt.Sprintf("/v1/scenarios/%s/faults", created.ID)
+
+	// The default spec is a k=4 fat tree; vertex 0 is a switch with
+	// links. Find one of its links from the topology for a stable target.
+	topo := topology.MustFatTree(4, nil)
+	u := topo.Switches[0]
+	v := topo.Graph.Neighbors(u)[0].To
+
+	var res engine.FaultResult
+	code := do(t, ts, "POST", path,
+		faultsRequest{Inject: []fault.Fault{{Kind: fault.Degrade, U: u, V: v, Factor: 4}}}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("degrade inject: %d", code)
+	}
+	if !res.Degraded || res.Injected != 1 || len(res.Unserved) != 0 {
+		t.Fatalf("degrade transition: %+v", res)
+	}
+
+	// Active set echoes the factor.
+	var fstate struct {
+		Active []fault.Fault `json:"active"`
+	}
+	do(t, ts, "GET", path, nil, &fstate)
+	if len(fstate.Active) != 1 || fstate.Active[0].Kind != fault.Degrade || fstate.Active[0].Factor != 4 {
+		t.Fatalf("active set: %+v", fstate.Active)
+	}
+
+	// The transition ran the weight-delta APSP path, visible in the
+	// process-wide exposition.
+	prom := promSnapshot(t, ts)
+	if prom["vnfopt_apsp_weight_deltas"] < 1 {
+		t.Fatalf("vnfopt_apsp_weight_deltas = %v, want >= 1", prom["vnfopt_apsp_weight_deltas"])
+	}
+
+	// Heal names the link only; no factor needed.
+	code = do(t, ts, "POST", path,
+		faultsRequest{Heal: []fault.Fault{{Kind: fault.Degrade, U: u, V: v}}}, &res)
+	if code != http.StatusOK || res.Degraded || res.Healed != 1 {
+		t.Fatalf("degrade heal: code=%d res=%+v", code, res)
+	}
+
+	// Bad factor → 422, nothing applied.
+	var env errorEnvelope
+	if code := do(t, ts, "POST", path,
+		faultsRequest{Inject: []fault.Fault{{Kind: fault.Degrade, U: u, V: v, Factor: -2}}}, &env); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad factor: %d", code)
+	}
+	do(t, ts, "GET", path, nil, &fstate)
+	if len(fstate.Active) != 0 {
+		t.Fatalf("rejected degrade left faults active: %v", fstate.Active)
+	}
+}

@@ -349,14 +349,28 @@ func newServer() *server {
 		apsp.Observe(elapsed.Seconds())
 		apspVerts.Set(float64(vertices))
 	})
-	// Incremental (fault-transition) APSP updates: wall time per delta
-	// and how many Dijkstra sources the last transition actually re-ran —
-	// the live view of the dirty-source optimisation doing its job.
+	// Incremental APSP updates: wall time per delta, how many Dijkstra
+	// sources the last transition actually re-ran — the live view of the
+	// dirty-source optimisation doing its job — and per-kind counters so
+	// fault-transition deltas (inject/heal) and weight deltas (degrade,
+	// epoch re-pricing) are distinguishable in exposition.
 	apspDelta := s.reg.Histogram("vnfopt_apsp_delta_seconds")
 	apspDirty := s.reg.Gauge("vnfopt_apsp_dirty_sources")
-	graph.SetAPSPDeltaObserver(func(vertices, dirty, workers int, elapsed time.Duration) {
+	apspFaultDeltas := s.reg.Counter("vnfopt_apsp_fault_deltas")
+	apspWeightDeltas := s.reg.Counter("vnfopt_apsp_weight_deltas")
+	graph.SetAPSPDeltaObserver(func(kind graph.DeltaKind, vertices, dirty, workers int, elapsed time.Duration) {
 		apspDelta.Observe(elapsed.Seconds())
 		apspDirty.Set(float64(dirty))
+		switch kind {
+		case graph.DeltaWeight:
+			apspWeightDeltas.Inc()
+		case graph.DeltaFault:
+			apspFaultDeltas.Inc()
+		case graph.DeltaMixed:
+			// A mixed transition exercised both classifiers.
+			apspWeightDeltas.Inc()
+			apspFaultDeltas.Inc()
+		}
 	})
 	return s
 }

@@ -1,0 +1,30 @@
+// Package benchmeta stamps benchmark reports with the host environment
+// they were recorded on. Benchmark JSON under results/ is only
+// comparable across commits when the recording host is pinned next to
+// the numbers; every results/BENCH_*.json writer embeds a Host.
+package benchmeta
+
+import "runtime"
+
+// Host describes the machine and toolchain a benchmark ran on.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU is the logical core count; GOMAXPROCS the scheduler's
+	// parallelism at collection time (they differ under cgroup limits or
+	// an explicit override — exactly the cases that skew comparisons).
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// Collect captures the current process's host metadata.
+func Collect() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

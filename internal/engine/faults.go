@@ -69,7 +69,9 @@ func (e *Engine) ApplyFaults(ctx context.Context, inject, heal []fault.Fault) (*
 		next = next.Add(f)
 	}
 	for _, f := range heal {
-		if !next.Contains(f) {
+		// Identity match, not exact match: healing a degrade names the
+		// link, never the factor it was injected with.
+		if !next.Active(f) {
 			return nil, fmt.Errorf("engine: heal of inactive fault %s", f)
 		}
 		next = next.Remove(f)

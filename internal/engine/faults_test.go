@@ -313,3 +313,84 @@ func TestStateRoundTripWithFaults(t *testing.T) {
 		t.Fatal("heal after resume failed")
 	}
 }
+
+// TestApplyFaultsDegrade drives the soft-failure path end to end: a
+// degrade re-prices the fabric without killing anything, a factor change
+// counts as a fresh injection, the heal names only the link, and the
+// engine returns to pristine bit-exact state.
+func TestApplyFaultsDegrade(t *testing.T) {
+	e, _ := newEngine(t, Policy{}, 7)
+	d := e.cfg.PPDC
+	// Degrade the first link of the fabric by 5x.
+	g := d.Topo.Graph
+	var u, v int
+	for x := 0; x < g.Order() && v == 0; x++ {
+		for _, ed := range g.Neighbors(x) {
+			if x < ed.To {
+				u, v = x, ed.To
+				break
+			}
+		}
+	}
+	deg := fault.Fault{Kind: fault.Degrade, U: u, V: v, Factor: 5}
+
+	res, err := e.ApplyFaults(context.Background(), []fault.Fault{deg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Injected != 1 || len(res.Unserved) != 0 {
+		t.Fatalf("degrade transition: %+v", res)
+	}
+	snap := e.Snapshot()
+	if !snap.Degraded || snap.ActiveFaults != 1 || snap.UnservedFlows != 0 {
+		t.Fatalf("degrade must not unserve flows: %+v", snap)
+	}
+	pw := d.Topo.Graph.EdgeWeight(u, v)
+	if got := e.view.PPDC().Topo.Graph.EdgeWeight(u, v); got != pw*5 {
+		t.Fatalf("serving fabric edge weight %v, want %v", got, pw*5)
+	}
+
+	// Re-degrading at a different factor replaces the multiplier and
+	// counts as an injection (the set changed), not a no-op.
+	deg2 := fault.Fault{Kind: fault.Degrade, U: u, V: v, Factor: 2}
+	res, err = e.ApplyFaults(context.Background(), []fault.Fault{deg2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 1 || len(res.Active) != 1 {
+		t.Fatalf("factor change not treated as injection: %+v", res)
+	}
+	if got := e.view.PPDC().Topo.Graph.EdgeWeight(u, v); got != pw*2 {
+		t.Fatalf("replaced factor: edge weight %v, want %v", got, pw*2)
+	}
+	// Re-degrading at the SAME factor is a no-op.
+	res, err = e.ApplyFaults(context.Background(), []fault.Fault{deg2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 0 {
+		t.Fatalf("identical re-degrade counted as injection: %+v", res)
+	}
+
+	// Heal names the link only — no factor — and restores pristine costs.
+	heal := fault.Fault{Kind: fault.Degrade, U: v, V: u}
+	res, err = e.ApplyFaults(context.Background(), nil, []fault.Fault{heal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Healed != 1 || len(res.Active) != 0 {
+		t.Fatalf("degrade heal: %+v", res)
+	}
+	if snap := e.Snapshot(); snap.Degraded || snap.ActiveFaults != 0 {
+		t.Fatalf("engine still degraded after heal: %+v", snap)
+	}
+	// Healing it twice is an error, like any inactive fault.
+	if _, err := e.ApplyFaults(context.Background(), nil, []fault.Fault{heal}); err == nil {
+		t.Fatal("double heal of degrade succeeded")
+	}
+	// Bad factors are rejected atomically.
+	bad := fault.Fault{Kind: fault.Degrade, U: u, V: v, Factor: -1}
+	if _, err := e.ApplyFaults(context.Background(), []fault.Fault{bad}, nil); err == nil {
+		t.Fatal("negative degrade factor accepted")
+	}
+}

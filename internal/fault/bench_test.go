@@ -28,8 +28,12 @@ func benchModel(b *testing.B, name string) *model.PPDC {
 		topo, err = topology.FatTree(8, nil)
 	case "fattree_k16":
 		topo, err = topology.FatTree(16, nil)
+	case "fattree_k32":
+		topo, err = topology.FatTree(32, nil)
 	case "jellyfish_5k":
 		topo, err = topology.Jellyfish(5000, 6, 0, nil, rand.New(rand.NewSource(5)))
+	case "jellyfish_10k":
+		topo, err = topology.Jellyfish(10000, 6, 0, nil, rand.New(rand.NewSource(10)))
 	default:
 		b.Fatalf("unknown bench model %q", name)
 	}

@@ -21,6 +21,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"vnfopt/internal/model"
@@ -38,22 +39,30 @@ const (
 	Switch Kind = "switch"
 	// Host is a host vertex; its flows become unservable while it is down.
 	Host Kind = "host"
+	// Degrade is a soft link failure: the link {U,V} stays up but every
+	// parallel edge between the endpoints costs Factor× its pristine
+	// weight — flapping optics, FEC retransmits, an oversubscribed WAN
+	// segment. Unlike Link it never disconnects anything; it feeds the
+	// incremental weight-delta APSP path instead of the removal path.
+	Degrade Kind = "degrade"
 )
 
-// Fault is one failure. For Link faults both U and V are set (order
-// irrelevant); for Switch and Host faults the vertex is U and V must be
-// zero or equal to U.
+// Fault is one failure. For Link and Degrade faults both U and V are set
+// (order irrelevant); for Switch and Host faults the vertex is U and V
+// must be zero or equal to U. Factor is the weight multiplier of a
+// Degrade fault (> 0, finite) and must be zero for every other kind.
 type Fault struct {
-	Kind Kind `json:"kind"`
-	U    int  `json:"u"`
-	V    int  `json:"v,omitempty"`
+	Kind   Kind    `json:"kind"`
+	U      int     `json:"u"`
+	V      int     `json:"v,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
 }
 
-// normalize returns the canonical form of f: link endpoints ordered
-// U ≤ V, vertex faults with V mirrored to U.
+// normalize returns the canonical form of f: link/degrade endpoints
+// ordered U ≤ V, vertex faults with V mirrored to U.
 func (f Fault) normalize() Fault {
 	switch f.Kind {
-	case Link:
+	case Link, Degrade:
 		if f.U > f.V {
 			f.U, f.V = f.V, f.U
 		}
@@ -65,11 +74,24 @@ func (f Fault) normalize() Fault {
 	return f
 }
 
+// identity is the normalized fault with its magnitude erased: the key
+// under which at most one fault may be active per FaultSet invariant.
+// Two degrades of the same link with different factors share an
+// identity — Add replaces, Remove and Active ignore the factor.
+func (f Fault) identity() Fault {
+	f = f.normalize()
+	f.Factor = 0
+	return f
+}
+
 // String renders the fault for events and error messages.
 func (f Fault) String() string {
 	f = f.normalize()
-	if f.Kind == Link {
+	switch f.Kind {
+	case Link:
 		return fmt.Sprintf("link{%d,%d}", f.U, f.V)
+	case Degrade:
+		return fmt.Sprintf("degrade{%d,%d}x%g", f.U, f.V, f.Factor)
 	}
 	return fmt.Sprintf("%s{%d}", f.Kind, f.U)
 }
@@ -80,13 +102,21 @@ func (f Fault) String() string {
 func (f Fault) Validate(d *model.PPDC) error {
 	n := d.Topo.Graph.Order()
 	f = f.normalize()
+	if f.Kind != Degrade && f.Factor != 0 {
+		return fmt.Errorf("fault: factor %g is only valid on degrade faults, not %q", f.Factor, f.Kind)
+	}
 	switch f.Kind {
-	case Link:
+	case Link, Degrade:
 		if f.U < 0 || f.V < 0 || f.U >= n || f.V >= n {
-			return fmt.Errorf("fault: link {%d,%d} out of range [0,%d)", f.U, f.V, n)
+			return fmt.Errorf("fault: %s {%d,%d} out of range [0,%d)", f.Kind, f.U, f.V, n)
 		}
 		if !d.Topo.Graph.HasEdge(f.U, f.V) {
 			return fmt.Errorf("fault: no link between %d and %d", f.U, f.V)
+		}
+		if f.Kind == Degrade {
+			if !(f.Factor > 0) || math.IsInf(f.Factor, 0) {
+				return fmt.Errorf("fault: degrade{%d,%d} factor %g must be finite and > 0 (use a link fault to take the link down)", f.U, f.V, f.Factor)
+			}
 		}
 	case Switch:
 		if f.U < 0 || f.U >= n {
@@ -103,7 +133,7 @@ func (f Fault) Validate(d *model.PPDC) error {
 			return fmt.Errorf("fault: vertex %d is not a host", f.U)
 		}
 	default:
-		return fmt.Errorf("fault: unknown kind %q (want link, switch, or host)", f.Kind)
+		return fmt.Errorf("fault: unknown kind %q (want link, degrade, switch, or host)", f.Kind)
 	}
 	return nil
 }
@@ -131,24 +161,70 @@ func (fs FaultSet) Len() int { return len(fs.set) }
 // Empty reports whether no fault is active.
 func (fs FaultSet) Empty() bool { return len(fs.set) == 0 }
 
-// Contains reports whether f (normalized) is active.
+// Contains reports whether exactly f (normalized, factor included) is
+// active. A degrade of the same link at a different factor does NOT
+// match — the engine counts a factor change as a new injection because
+// of this. Use Active for factor-insensitive membership (heal paths).
 func (fs FaultSet) Contains(f Fault) bool {
 	_, ok := fs.set[f.normalize()]
 	return ok
 }
 
-// Add returns a copy of the set with f injected.
+// Active reports whether a fault with f's identity — kind and endpoints,
+// ignoring any degrade factor — is active. Heal requests name the fault
+// without having to echo the factor it was injected with.
+func (fs FaultSet) Active(f Fault) bool {
+	if _, ok := fs.set[f.normalize()]; ok {
+		return true
+	}
+	if f.Kind != Degrade {
+		return false
+	}
+	id := f.identity()
+	for g := range fs.set {
+		if g.identity() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns a copy of the set with f injected. At most one fault per
+// identity is active: injecting a degrade on a link that already carries
+// one replaces its factor rather than stacking a second multiplier.
 func (fs FaultSet) Add(f Fault) FaultSet {
 	out := fs.clone()
-	out.set[f.normalize()] = struct{}{}
+	nf := f.normalize()
+	if nf.Kind == Degrade {
+		id := nf.identity()
+		for g := range out.set {
+			if g.Kind == Degrade && g.identity() == id {
+				delete(out.set, g)
+			}
+		}
+	}
+	out.set[nf] = struct{}{}
 	return out
 }
 
 // Remove returns a copy of the set with f healed (a no-op when f is not
-// active).
+// active). Matching is by identity: healing a degrade needs only the
+// endpoints, not the injected factor.
 func (fs FaultSet) Remove(f Fault) FaultSet {
 	out := fs.clone()
-	delete(out.set, f.normalize())
+	nf := f.normalize()
+	if _, ok := out.set[nf]; ok {
+		delete(out.set, nf)
+		return out
+	}
+	if nf.Kind == Degrade {
+		id := nf.identity()
+		for g := range out.set {
+			if g.Kind == Degrade && g.identity() == id {
+				delete(out.set, g)
+			}
+		}
+	}
 	return out
 }
 

@@ -30,7 +30,9 @@ func allFaults(d *model.PPDC) []Fault {
 	return out
 }
 
-// apspEqual compares two APSP oracles bit-for-bit over all pairs.
+// apspEqual compares two APSP oracles bit-for-bit over all pairs: dist
+// matrices by float bits and prev matrices entry-for-entry, so a delta
+// path that finds the right costs along different trees still fails.
 func apspEqual(t *testing.T, d *model.PPDC, a, b *View) {
 	t.Helper()
 	n := d.Topo.Graph.Order()
@@ -41,6 +43,9 @@ func apspEqual(t *testing.T, d *model.PPDC, a, b *View) {
 			if math.Float64bits(x) != math.Float64bits(y) {
 				t.Fatalf("APSP[%d][%d]: %v (%#x) != %v (%#x)",
 					u, v, x, math.Float64bits(x), y, math.Float64bits(y))
+			}
+			if pa, pb := a.PPDC().APSP.Pred(u, v), b.PPDC().APSP.Pred(u, v); pa != pb {
+				t.Fatalf("prev[%d][%d]: %d != %d", u, v, pa, pb)
 			}
 		}
 	}
@@ -343,4 +348,82 @@ func TestPlanServicePartitionProperties(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzWeightDeltaAPSP is the weight-delta counterpart of
+// FuzzIncrementalAPSP: a random chained sequence of link degrades
+// (re-weights at assorted factors, including replacing an active
+// degrade's factor), hard link failures, and heals — so weight deltas,
+// removal deltas, and mixed transitions interleave — applied once
+// through the incremental ApplyDelta chain and once through the full
+// Rebuild, with every intermediate view pinned bit-for-bit: dist AND
+// prev matrices, dead masks, component labels.
+func FuzzWeightDeltaAPSP(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 4, 8, 12})
+	f.Add([]byte{0, 1, 2, 3, 16, 17, 18, 19})
+	f.Add([]byte{0, 2, 40, 42, 3, 7, 80, 81, 200, 201, 13, 14})
+	topo := topology.MustFatTree(4, nil)
+	d := model.MustNew(topo, model.Options{})
+	var links []Fault
+	g := d.Topo.Graph
+	for u := 0; u < g.Order(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				links = append(links, Fault{Kind: Link, U: u, V: e.To})
+			}
+		}
+	}
+	// Factors > 1 and < 1 both appear so increase and decrease dirty
+	// rules are exercised, plus re-degrading at a different factor.
+	factors := []float64{0.25, 0.5, 1.5, 2, 3, 8}
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		fs := FaultSet{}
+		prev, err := ApplyDelta(d, nil, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range ops {
+			link := links[int(b>>2)%len(links)]
+			switch b & 3 {
+			case 0, 1:
+				// Degrade (or re-degrade) the link; the factor varies with
+				// both the byte and the position so chained replacements of
+				// the same link pick different multipliers.
+				fct := factors[(int(b>>2)+i)%len(factors)]
+				fs = fs.Add(Fault{Kind: Degrade, U: link.U, V: link.V, Factor: fct})
+			case 2:
+				// Hard-fail the link. An active degrade on it stays in the
+				// set and reapplies when the link heals.
+				fs = fs.Add(link)
+			case 3:
+				if fs.Len() > 0 {
+					active := fs.Faults()
+					fs = fs.Remove(active[int(b>>2)%len(active)])
+				}
+			}
+			inc, err := ApplyDelta(d, prev, fs)
+			if err != nil {
+				t.Fatalf("fault set built from candidates must validate: %v", err)
+			}
+			viewEqual(t, d, inc, Rebuild(d, fs))
+			prev = inc
+		}
+		// Drain: heal everything one fault at a time along the chain, then
+		// the empty set must be the pristine matrix again.
+		for fs.Len() > 0 {
+			fs = fs.Remove(fs.Faults()[0])
+			inc, err := ApplyDelta(d, prev, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viewEqual(t, d, inc, Rebuild(d, fs))
+			prev = inc
+		}
+		apspEqual(t, d, prev, Rebuild(d, FaultSet{}))
+	})
 }

@@ -62,9 +62,35 @@ func (ls linkSet) has(u, w int) bool {
 	return false
 }
 
-// filter expands the fault set into its per-vertex dead mask and downed
-// link set for an n-vertex fabric.
-func (fs FaultSet) filter(n int) (dead []bool, down linkSet) {
+// degradeEntry records one soft-failed link (u ≤ v) with its weight
+// factor; degradeSet shares linkSet's sorted-slice rationale.
+type degradeEntry struct {
+	u, v   int
+	factor float64
+}
+
+type degradeSet []degradeEntry
+
+// factor returns the weight multiplier of the (unordered) link {u, w};
+// 1 when the link is not degraded.
+func (ds degradeSet) factor(u, w int) float64 {
+	if u > w {
+		u, w = w, u
+	}
+	for _, d := range ds {
+		if d.u == u && d.v == w {
+			return d.factor
+		}
+		if d.u > u {
+			break
+		}
+	}
+	return 1
+}
+
+// filter expands the fault set into its per-vertex dead mask, downed
+// link set, and degraded link factors for an n-vertex fabric.
+func (fs FaultSet) filter(n int) (dead []bool, down linkSet, degr degradeSet) {
 	dead = make([]bool, n)
 	for f := range fs.set {
 		switch f.Kind {
@@ -72,6 +98,8 @@ func (fs FaultSet) filter(n int) (dead []bool, down linkSet) {
 			dead[f.U] = true
 		case Link:
 			down = append(down, [2]int{f.U, f.V})
+		case Degrade:
+			degr = append(degr, degradeEntry{u: f.U, v: f.V, factor: f.Factor})
 		}
 	}
 	sort.Slice(down, func(i, j int) bool {
@@ -80,7 +108,13 @@ func (fs FaultSet) filter(n int) (dead []bool, down linkSet) {
 		}
 		return down[i][1] < down[j][1]
 	})
-	return dead, down
+	sort.Slice(degr, func(i, j int) bool {
+		if degr[i].u != degr[j].u {
+			return degr[i].u < degr[j].u
+		}
+		return degr[i].v < degr[j].v
+	})
+	return dead, down, degr
 }
 
 // keep reports whether the pristine edge {u, w} survives the fault set
@@ -90,6 +124,35 @@ func keepEdge(dead []bool, down linkSet, u, w int) bool {
 		return false
 	}
 	return !down.has(u, w)
+}
+
+// effWeight returns the cost a surviving pristine edge {u, w} of weight
+// wt carries under the degrade factors. Rebuild's CloneMapped and
+// RebuildFrom's delta records both evaluate exactly this expression, so
+// the incremental path's restored/reweighted weights are bit-identical
+// to the full rebuild's. A factor of 1 (no degrade) returns wt itself —
+// no float operation that could perturb the pristine fast path.
+func effWeight(degr degradeSet, u, w int, wt float64) float64 {
+	if f := degr.factor(u, w); f != 1 {
+		return wt * f
+	}
+	return wt
+}
+
+// degradedClone builds the filtered, re-weighted graph of a fault set
+// expanded into (dead, down, degr), preserving pristine adjacency order.
+func degradedClone(pg *graph.Graph, dead []bool, down linkSet, degr degradeSet) *graph.Graph {
+	if len(degr) == 0 {
+		return pg.CloneFiltered(func(u, w int, _ float64) bool {
+			return keepEdge(dead, down, u, w)
+		})
+	}
+	return pg.CloneMapped(func(u, w int, wt float64) (float64, bool) {
+		if !keepEdge(dead, down, u, w) {
+			return 0, false
+		}
+		return effWeight(degr, u, w, wt), true
+	})
 }
 
 // buildView assembles the degraded view's topology and labelling around
@@ -138,10 +201,9 @@ func Rebuild(d *model.PPDC, fs FaultSet) *View {
 	n := d.Topo.Graph.Order()
 	v := &View{pristine: d, faults: fs}
 	var down linkSet
-	v.dead, down = fs.filter(n)
-	g := d.Topo.Graph.CloneFiltered(func(u, w int, _ float64) bool {
-		return keepEdge(v.dead, down, u, w)
-	})
+	var degr degradeSet
+	v.dead, down, degr = fs.filter(n)
+	g := degradedClone(d.Topo.Graph, v.dead, down, degr)
 	return buildView(v, d, g, graph.AllPairs(g))
 }
 
@@ -159,16 +221,20 @@ func RebuildFrom(prev *View, fs FaultSet) *View {
 	n := pg.Order()
 	v := &View{pristine: d, faults: fs}
 	var down linkSet
-	v.dead, down = fs.filter(n)
-	oldDead, oldDown := prev.faults.filter(n)
-	g := pg.CloneFiltered(func(u, w int, _ float64) bool {
-		return keepEdge(v.dead, down, u, w)
-	})
+	var degr degradeSet
+	v.dead, down, degr = fs.filter(n)
+	oldDead, oldDown, oldDegr := prev.faults.filter(n)
+	g := degradedClone(pg, v.dead, down, degr)
 
-	// Edge delta between the two filtered graphs, from one pass over the
-	// pristine edge set (u < v side only; parallel links repeat, which the
-	// dirty tests tolerate).
-	var removed, restored []graph.EdgeRecord
+	// Three-way edge delta between the two degraded graphs, from one pass
+	// over the pristine edge set (u < v side only; parallel links repeat,
+	// which the dirty tests tolerate). Every weight a record carries is
+	// the *effective* cost under the respective fault set — the same
+	// expression degradedClone evaluates — so a restored or re-weighted
+	// edge patches in bit-identical to the full rebuild, and an edge that
+	// is degraded and removed in one transition flows through the removal
+	// rule, composing the two classifiers in any order.
+	var removed, restored, reweighted []graph.EdgeRecord
 	for u := 0; u < n; u++ {
 		for _, e := range pg.Neighbors(u) {
 			if u > e.To {
@@ -176,14 +242,21 @@ func RebuildFrom(prev *View, fs FaultSet) *View {
 			}
 			ko := keepEdge(oldDead, oldDown, u, e.To)
 			kn := keepEdge(v.dead, down, u, e.To)
-			if ko && !kn {
-				removed = append(removed, graph.EdgeRecord{U: u, V: e.To, Weight: e.Weight})
-			} else if !ko && kn {
-				restored = append(restored, graph.EdgeRecord{U: u, V: e.To, Weight: e.Weight})
+			switch {
+			case ko && !kn:
+				removed = append(removed, graph.EdgeRecord{U: u, V: e.To, Weight: effWeight(oldDegr, u, e.To, e.Weight)})
+			case !ko && kn:
+				restored = append(restored, graph.EdgeRecord{U: u, V: e.To, Weight: effWeight(degr, u, e.To, e.Weight)})
+			case ko && kn:
+				ow := effWeight(oldDegr, u, e.To, e.Weight)
+				nw := effWeight(degr, u, e.To, e.Weight)
+				if ow != nw {
+					reweighted = append(reweighted, graph.EdgeRecord{U: u, V: e.To, Weight: nw})
+				}
 			}
 		}
 	}
-	apsp, _ := prev.degraded.APSP.ApplyDeltas(g, removed, restored, 0)
+	apsp, _ := prev.degraded.APSP.ApplyEdgeDeltas(g, removed, restored, reweighted, 0)
 	return buildView(v, d, g, apsp)
 }
 

@@ -44,19 +44,37 @@ type APSP struct {
 	prev [][]int32   // prev[u][v]: predecessor of v on the shortest u->v path
 }
 
+// apspStride returns the blocked row-major stride for an n-order
+// matrix: row starts rounded up to a multiple of 16 elements, so every
+// float64 dist row (8 per 64-byte line) and every int32 prev row (16
+// per line) begins on a cache-line boundary. Aligned row starts keep
+// the parallel build's chunk boundaries off shared cache lines (no
+// false sharing between workers writing adjacent rows) and make
+// row-vs-row sweeps — the delta classifier reading dist rows, the cost
+// cache streaming Row(u) — stride through whole lines instead of
+// straddling them. At k=32 fat-tree and 10k-switch jellyfish orders the
+// padding overhead is ≤ 16/n < 0.2%.
+func apspStride(n int) int {
+	return (n + 15) &^ 15
+}
+
 // newAPSP allocates an n-order matrix whose rows tile one contiguous
-// row-major backing buffer per field.
+// stride-padded row-major backing buffer per field (see apspStride).
+// Rows keep logical length n — the padding lives between rows, invisible
+// to every accessor — with capacity clamped to n so an append cannot
+// scribble on a neighbor's padding.
 func newAPSP(n int) *APSP {
 	a := &APSP{
 		n:    n,
 		dist: make([][]float64, n),
 		prev: make([][]int32, n),
 	}
-	db := make([]float64, n*n)
-	pb := make([]int32, n*n)
+	stride := apspStride(n)
+	db := make([]float64, n*stride)
+	pb := make([]int32, n*stride)
 	for i := 0; i < n; i++ {
-		a.dist[i] = db[i*n : (i+1)*n : (i+1)*n]
-		a.prev[i] = pb[i*n : (i+1)*n : (i+1)*n]
+		a.dist[i] = db[i*stride : i*stride+n : i*stride+n]
+		a.prev[i] = pb[i*stride : i*stride+n : i*stride+n]
 	}
 	return a
 }
@@ -107,6 +125,37 @@ func AllPairsWorkers(g *Graph, workers int) *APSP {
 	return a
 }
 
+// AllPairsCSR is AllPairsWorkers over an already-frozen snapshot, for
+// callers that maintain their graph as a CSR (the congestion-pricing
+// router re-prices one weight buffer over an immutable structure every
+// epoch). Output is bit-identical to AllPairsWorkers on the graph the
+// snapshot was frozen from, at any worker count.
+func AllPairsCSR(csr *CSR, workers int) *APSP {
+	obs := apspObserver.Load()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	n := csr.Order()
+	a := newAPSP(n)
+	err := parallel.MapChunked(n, workers, func(lo, hi int) error {
+		var scratch SSSPScratch
+		for src := lo; src < hi; src++ {
+			csr.DijkstraInto(src, a.dist[src], a.prev[src], &scratch)
+		}
+		return nil
+	})
+	if err != nil {
+		// DijkstraInto cannot fail on a valid snapshot; a surfaced panic
+		// is a kernel bug and must not be swallowed.
+		panic(err)
+	}
+	if obs != nil {
+		(*obs)(n, csr.NumSlots()/2, workers, time.Since(start))
+	}
+	return a
+}
+
 // AllPairsSequential is the original one-source-at-a-time build over the
 // [][]Edge adjacency. It is kept as the differential oracle for the CSR
 // and parallel kernels (tests assert byte-identical dist/prev matrices)
@@ -137,6 +186,12 @@ func (a *APSP) Cost(u, v int) float64 { return a.dist[u][v] }
 // workload cost cache) can stream one row without per-element index
 // arithmetic.
 func (a *APSP) Row(u int) []float64 { return a.dist[u] }
+
+// Pred returns the predecessor of v on the cached shortest u→v path, or
+// -1 when v is unreachable from u (and for v == u). Differential tests
+// use it to compare predecessor matrices entry-for-entry without
+// materializing paths.
+func (a *APSP) Pred(u, v int) int { return int(a.prev[u][v]) }
 
 // Reachable reports whether v is reachable from u.
 func (a *APSP) Reachable(u, v int) bool { return !math.IsInf(a.dist[u][v], 1) }

@@ -8,11 +8,28 @@ import (
 	"vnfopt/internal/parallel"
 )
 
+// DeltaKind labels what an incremental APSP update changed, for
+// instrumentation: fault deltas remove/restore edges, weight deltas
+// re-price edges in place, mixed deltas do both in one transition.
+type DeltaKind string
+
+const (
+	// DeltaFault: edges removed and/or restored (topology events).
+	DeltaFault DeltaKind = "fault"
+	// DeltaWeight: edge weights changed in place (re-pricing, degradation).
+	DeltaWeight DeltaKind = "weight"
+	// DeltaMixed: one transition carrying both structural and weight
+	// changes (e.g. a degraded link removed in the same fault event).
+	DeltaMixed DeltaKind = "mixed"
+)
+
 // APSPDeltaObserver receives the outcome of one incremental APSP update:
-// the matrix order, the number of dirty sources actually re-run, the
-// worker count, and the wall time. Like APSPObserver it is a process-wide
-// hook so the graph package stays free of observability dependencies.
-type APSPDeltaObserver func(vertices, dirty, workers int, elapsed time.Duration)
+// what kind of delta ran, the matrix order, the number of dirty sources
+// actually re-run, the worker count, and the wall time. Fault and weight
+// deltas report through this one hook — there is no second registration
+// point per delta flavor. Like APSPObserver it is a process-wide hook so
+// the graph package stays free of observability dependencies.
+type APSPDeltaObserver func(kind DeltaKind, vertices, dirty, workers int, elapsed time.Duration)
 
 var apspDeltaObserver atomic.Pointer[APSPDeltaObserver]
 
@@ -31,7 +48,8 @@ func SetAPSPDeltaObserver(fn APSPDeltaObserver) {
 type deltaPlan struct {
 	// isolated[x]: every old edge of x was removed, so x has degree zero
 	// in the new graph. Clean rows handle these by patching column x to
-	// unreachable instead of re-running Dijkstra.
+	// unreachable instead of re-running Dijkstra. nil for weight-only
+	// deltas (no structural change, nothing to patch).
 	isolated []bool
 	isoList  []int32
 	// pendant[v] >= 0: v was isolated in the old graph and the delta
@@ -46,6 +64,11 @@ type deltaPlan struct {
 	// grown are the restored edges with no pendant endpoint: the
 	// distance/tie test applies.
 	grown []EdgeRecord
+	// reweighted are edges present in both graphs whose weight changed,
+	// carrying the NEW weight. The dirty test is direction-agnostic:
+	// tree edges always dirty (covers increases), and the restored-edge
+	// improvement/tie-flip test on the new weight covers decreases.
+	reweighted []EdgeRecord
 	// childCand lists the only columns whose predecessor can be an
 	// isolated vertex: the surviving old neighbors of the isolated set.
 	// prev[c] == x requires edge {x,c}, and every old edge of an
@@ -55,6 +78,26 @@ type deltaPlan struct {
 	// forced rows always recompute: isolated and pendant vertices' own
 	// rows (their Dijkstra traces change shape or float association).
 	forced []int32
+	// fixedKind, when set, is the observer label decided before
+	// splitPendantReweights moved pendant re-weights into the pendant
+	// patch lists (which would otherwise misread as structural).
+	fixedKind DeltaKind
+}
+
+// kind labels the plan for the delta observer.
+func (p *deltaPlan) kind() DeltaKind {
+	if p.fixedKind != "" {
+		return p.fixedKind
+	}
+	structural := len(p.links) > 0 || len(p.grown) > 0 || len(p.isoList) > 0 || len(p.pendList) > 0
+	switch {
+	case structural && len(p.reweighted) > 0:
+		return DeltaMixed
+	case len(p.reweighted) > 0:
+		return DeltaWeight
+	default:
+		return DeltaFault
+	}
 }
 
 // planDeltas splits the raw removed/restored lists into the patchable
@@ -124,8 +167,67 @@ func planDeltas(next *Graph, removed, restored []EdgeRecord) *deltaPlan {
 	return p
 }
 
+// splitPendantReweights moves re-weighted edges with a degree-1 endpoint
+// out of the generic reweighted list and into the pendant patch lists.
+// A degree-1 vertex v is always a leaf of every shortest-path tree —
+// the only path into it is its single edge {u,v} — so re-pricing that
+// edge changes exactly column v of every row: dist(s,v) = dist(s,u)+w',
+// the same final-relax float expression the full Dijkstra evaluates.
+// Only v's own row recomputes (its trace accumulates the new first-hop
+// weight in a different association order). Without this split a
+// pendant tree edge would dirty every source — in host-attached fabrics
+// (fat trees), where congestion pricing touches host uplinks every
+// epoch, that degenerates the weight-delta path into a full rebuild.
+//
+// degree reports each vertex's degree in the (structurally unchanged)
+// graph. Zero-weight pendant edges stay in the generic list: with w'=0
+// a relax back out of the leaf could tie-flip the neighbor's
+// predecessor, which the column patch cannot express.
+func (p *deltaPlan) splitPendantReweights(n int, degree func(int) int) {
+	var kept []EdgeRecord
+	for i, e := range p.reweighted {
+		pu, pv := degree(e.U) == 1, degree(e.V) == 1
+		if (!pu && !pv) || !(e.Weight > 0) {
+			if kept != nil {
+				kept = append(kept, e)
+			}
+			continue
+		}
+		// Copy-on-first-hit: the reweighted slice belongs to the caller.
+		if kept == nil {
+			kept = append(make([]EdgeRecord, 0, len(p.reweighted)-1), p.reweighted[:i]...)
+		}
+		if pu && pv {
+			// An isolated K2 component: no other source reaches either
+			// endpoint (their columns stay Inf in every clean row), and
+			// patching either row from the other is circular — both
+			// recompute.
+			p.forced = append(p.forced, int32(e.U), int32(e.V))
+			continue
+		}
+		v, u := e.U, e.V
+		if pv {
+			v, u = e.V, e.U
+		}
+		if p.pendant == nil {
+			p.pendant = make([]int32, n)
+			for j := range p.pendant {
+				p.pendant[j] = -1
+			}
+			p.pendantW = make([]float64, n)
+		}
+		p.pendant[v] = int32(u)
+		p.pendantW[v] = e.Weight
+		p.pendList = append(p.pendList, int32(v))
+		p.forced = append(p.forced, int32(v))
+	}
+	if kept != nil {
+		p.reweighted = kept
+	}
+}
+
 // rowDirty reports whether source s's cached row can survive the delta.
-// It inspects only s's old dist/prev rows; see ApplyDeltas for the
+// It inspects only s's old dist/prev rows; see ApplyEdgeDeltas for the
 // correctness argument of each test.
 func (p *deltaPlan) rowDirty(s int, dist []float64, prev []int32) bool {
 	// A removed edge invalidates s exactly when it is a tree edge: the
@@ -157,27 +259,57 @@ func (p *deltaPlan) rowDirty(s int, dist []float64, prev []int32) bool {
 	// so the incumbent prev[v] loses exactly when (d(u), u) precedes
 	// (d(prev[v]), prev[v]).
 	for _, e := range p.grown {
-		du, dv := dist[e.U], dist[e.V]
-		uInf, vInf := math.IsInf(du, 1), math.IsInf(dv, 1)
-		if uInf && vInf {
-			// An edge between two vertices s cannot reach creates no
-			// s-path: any path from s to either endpoint would have to
-			// reach one of them without the new edge first.
-			continue
+		if relaxWins(dist, prev, e) {
+			return true
 		}
-		if !uInf {
-			if t := du + e.Weight; t < dv {
-				return true
-			} else if t == dv && tieFlips(dist, prev, e.U, e.V) {
-				return true
-			}
+	}
+	// A re-weighted edge invalidates s when it is a tree edge (any
+	// weight change on a tree edge moves the subtree's distances, and a
+	// weight *increase* on a tree edge is dirty even when the distances
+	// survive via an equal alternative — the trace changes shape), or
+	// when its NEW weight strictly improves or tie-flips a settled
+	// distance (the restored-edge test: a decrease is a restore from the
+	// old weight's point of view). An increased non-tree edge fails both
+	// tests and is provably clean: its relaxations lost under the old
+	// weight (dist[v] ≤ dist[u]+w_old for every settled pair) and lose
+	// harder under a larger one, so no test is needed on the old weight
+	// and callers never have to supply it.
+	for _, e := range p.reweighted {
+		if int(prev[e.V]) == e.U || int(prev[e.U]) == e.V {
+			return true
 		}
-		if !vInf {
-			if t := dv + e.Weight; t < du {
-				return true
-			} else if t == du && tieFlips(dist, prev, e.V, e.U) {
-				return true
-			}
+		if relaxWins(dist, prev, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// relaxWins reports whether edge e at its (new) weight would beat the
+// row's settled distances in a fresh Dijkstra run: a strict improvement
+// of either endpoint from the other, or an equal-cost relaxation that
+// wins the (cost, vertex) tie-break against the incumbent predecessor.
+func relaxWins(dist []float64, prev []int32, e EdgeRecord) bool {
+	du, dv := dist[e.U], dist[e.V]
+	uInf, vInf := math.IsInf(du, 1), math.IsInf(dv, 1)
+	if uInf && vInf {
+		// An edge between two vertices s cannot reach creates no
+		// s-path: any path from s to either endpoint would have to
+		// reach one of them without the new edge first.
+		return false
+	}
+	if !uInf {
+		if t := du + e.Weight; t < dv {
+			return true
+		} else if t == dv && tieFlips(dist, prev, e.U, e.V) {
+			return true
+		}
+	}
+	if !vInf {
+		if t := dv + e.Weight; t < du {
+			return true
+		} else if t == du && tieFlips(dist, prev, e.V, e.U) {
+			return true
 		}
 	}
 	return false
@@ -237,12 +369,50 @@ func (p *deltaPlan) patchRow(dist []float64, prev []int32) {
 }
 
 // ApplyDeltas builds the APSP matrix of `next` incrementally from the
-// cached matrix of the graph next was derived from. The caller supplies
-// the edge delta between the two graphs: `removed` lists edges present
-// in the old graph but absent from next, `restored` lists edges absent
-// from the old graph but present in next (with their weights in next).
-// Vertex failures and revivals are expressed through their incident
-// edges; the vertex set itself never changes.
+// cached matrix of the graph next was derived from, for a purely
+// structural delta: `removed` lists edges present in the old graph but
+// absent from next, `restored` lists edges absent from the old graph but
+// present in next (with their weights in next). Vertex failures and
+// revivals are expressed through their incident edges; the vertex set
+// itself never changes. See ApplyEdgeDeltas for the dirty-source rules
+// and the bit-identity guarantee.
+func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers int) (*APSP, int) {
+	return a.ApplyEdgeDeltas(next, removed, restored, nil, workers)
+}
+
+// ApplyWeightDeltas builds the APSP matrix of `next` incrementally for a
+// weight-only delta: next has the same vertex set and edge set as the
+// graph this matrix was built from, but the edges listed in `reweighted`
+// carry new weights (each record holds the NEW weight; the old weight is
+// never needed — see the re-weight rule in ApplyEdgeDeltas). Edges whose
+// weight did not change must not be listed: a listed-but-unchanged tree
+// edge costs a spurious dirty row (correct, just wasted work).
+func (a *APSP) ApplyWeightDeltas(next *Graph, reweighted []EdgeRecord, workers int) (*APSP, int) {
+	return a.ApplyEdgeDeltas(next, nil, nil, reweighted, workers)
+}
+
+// ApplyWeightDeltasCSR is ApplyWeightDeltas for callers that already
+// hold the new graph as a frozen CSR snapshot — the congestion-pricing
+// router re-prices one weight buffer per epoch over an immutable
+// structure, so forcing it through *Graph would rebuild adjacency lists
+// it never mutates. The snapshot's weights must be the new weights; the
+// structure must be the one this matrix was built over.
+func (a *APSP) ApplyWeightDeltasCSR(next *CSR, reweighted []EdgeRecord, workers int) (*APSP, int) {
+	if next.Order() != a.n {
+		panic("graph: ApplyWeightDeltasCSR vertex count mismatch")
+	}
+	plan := &deltaPlan{reweighted: reweighted, fixedKind: DeltaWeight}
+	plan.splitPendantReweights(a.n, next.Degree)
+	return a.applyPlan(plan, next, workers)
+}
+
+// ApplyEdgeDeltas builds the APSP matrix of `next` incrementally from
+// the cached matrix of the graph next was derived from. The caller
+// supplies the full edge delta between the two graphs: `removed` lists
+// edges present in the old graph but absent from next, `restored` lists
+// edges absent from the old graph but present in next, and `reweighted`
+// lists edges present in both whose weight changed — restored and
+// reweighted records carry the weights in next.
 //
 // The receiver is never mutated: untouched rows are shared with the
 // receiver (both matrices are immutable), rows with a provably-exact
@@ -250,9 +420,9 @@ func (p *deltaPlan) patchRow(dist []float64, prev []int32) {
 // the zero-alloc CSR Dijkstra kernel into fresh storage, fanned over
 // `workers` goroutines exactly like AllPairsWorkers (workers ≤ 0 =
 // GOMAXPROCS). The result is bit-identical to AllPairs(next) at any
-// worker count — FuzzIncrementalAPSP in internal/fault and
-// TestApplyDeltasRandomSequence pin this differentially. It returns the
-// new matrix and the number of rows recomputed.
+// worker count — FuzzIncrementalAPSP and FuzzWeightDeltaAPSP in
+// internal/fault pin this differentially. It returns the new matrix and
+// the number of rows recomputed.
 //
 // Dirty-source rule. Dijkstra from s over the frozen adjacency order
 // with the heap's strict (cost, vertex) total order is a deterministic
@@ -274,11 +444,45 @@ func (p *deltaPlan) patchRow(dist []float64, prev []int32) {
 //     clean rows patch the column to dist(s,u)+w, the exact expression
 //     the full run evaluates; the pendant's own row is recomputed since
 //     its trace accumulates sums in a different association order.
-func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers int) (*APSP, int) {
-	n := a.n
-	if next.Order() != n {
-		panic("graph: ApplyDeltas vertex count mismatch")
+//   - re-weighted edge: dirty iff it is a tree edge of s, OR its new
+//     weight strictly improves / tie-flips a settled distance. The two
+//     tests cover both directions without the old weight: a weight
+//     *decrease* on a tree edge strictly improves the child's distance
+//     (so the restore test fires); a decrease on a non-tree edge is
+//     exactly a restore at the new weight; an *increase* on a tree edge
+//     trips the tree test; and an increase on a non-tree edge is always
+//     clean — dist[v] ≤ dist[u]+w_old holds for every settled pair
+//     (else the old trace would have used the edge), so a larger weight
+//     keeps every relaxation losing and, by the total-order argument
+//     above, the trace output is unchanged.
+//   - re-weighted pendant edge (a degree-1 endpoint, positive weight):
+//     the leaf's column patches to dist(s,u)+w' in every clean row and
+//     only the leaf's own row recomputes — see splitPendantReweights.
+func (a *APSP) ApplyEdgeDeltas(next *Graph, removed, restored, reweighted []EdgeRecord, workers int) (*APSP, int) {
+	if next.Order() != a.n {
+		panic("graph: ApplyEdgeDeltas vertex count mismatch")
 	}
+	plan := planDeltas(next, removed, restored)
+	plan.reweighted = reweighted
+	plan.fixedKind = plan.kind()
+	plan.splitPendantReweights(next.Order(), next.Degree)
+	// Freeze lazily: an all-clean delta (every row shared or patched)
+	// never needs the CSR.
+	var csr *CSR
+	return a.applyPlan(plan, nil, workers, func() *CSR {
+		if csr == nil {
+			csr = next.Freeze()
+		}
+		return csr
+	})
+}
+
+// applyPlan runs the classify/share/patch/recompute pipeline for one
+// delta plan. Exactly one of `frozen` (a ready CSR of the new graph) or
+// `freeze` (a lazy builder, invoked only when dirty rows exist) must be
+// non-nil.
+func (a *APSP) applyPlan(plan *deltaPlan, frozen *CSR, workers int, freeze ...func() *CSR) (*APSP, int) {
+	n := a.n
 	obs := apspDeltaObserver.Load()
 	var start time.Time
 	if obs != nil {
@@ -291,7 +495,6 @@ func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers 
 		prev: make([][]int32, n),
 	}
 
-	plan := planDeltas(next, removed, restored)
 	dirty := make([]bool, n)
 	for _, s := range plan.forced {
 		dirty[s] = true
@@ -334,15 +537,22 @@ func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers 
 		}
 	}
 	if len(rows) > 0 {
-		csr := next.Freeze()
-		db := make([]float64, len(rows)*n)
-		pb := make([]int32, len(rows)*n)
+		csr := frozen
+		if csr == nil {
+			csr = freeze[0]()
+		}
+		// Dirty rows tile a fresh stride-padded buffer (see apspStride):
+		// chunk boundaries fall on cache-line boundaries, so parallel
+		// workers never write the same line.
+		stride := apspStride(n)
+		db := make([]float64, len(rows)*stride)
+		pb := make([]int32, len(rows)*stride)
 		if err := parallel.MapChunked(len(rows), workers, func(lo, hi int) error {
 			var scratch SSSPScratch
 			for i := lo; i < hi; i++ {
 				src := rows[i]
-				nd := db[i*n : (i+1)*n : (i+1)*n]
-				np := pb[i*n : (i+1)*n : (i+1)*n]
+				nd := db[i*stride : i*stride+n : i*stride+n]
+				np := pb[i*stride : i*stride+n : i*stride+n]
 				csr.DijkstraInto(src, nd, np, &scratch)
 				out.dist[src], out.prev[src] = nd, np
 			}
@@ -354,7 +564,7 @@ func (a *APSP) ApplyDeltas(next *Graph, removed, restored []EdgeRecord, workers 
 		}
 	}
 	if obs != nil {
-		(*obs)(n, len(rows), workers, time.Since(start))
+		(*obs)(plan.kind(), n, len(rows), workers, time.Since(start))
 	}
 	return out, len(rows)
 }

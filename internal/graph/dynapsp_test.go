@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
+	"unsafe"
 )
 
 // apspBitEqual fails unless a and b are bit-identical over dist and prev.
@@ -192,6 +194,399 @@ func TestCostMatrixContiguous(t *testing.T) {
 			if m[i][j] != a.Cost(u, v) {
 				t.Fatalf("m[%d][%d]=%v want %v", i, j, m[i][j], a.Cost(u, v))
 			}
+		}
+	}
+}
+
+// randomSimpleGraph builds a connected graph with no parallel edges and
+// small integer weights, so equal-cost ties (the tie-flip cases) occur
+// constantly.
+func randomSimpleGraph(rng *rand.Rand, n, extra int) *Graph {
+	g := New(n)
+	seen := map[[2]int]bool{}
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			return
+		}
+		seen[[2]int{u, v}] = true
+		g.AddEdge(u, v, float64(1+rng.Intn(4)))
+	}
+	for v := 1; v < n; v++ {
+		add(rng.Intn(v), v)
+	}
+	for i := 0; i < extra; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// reweight returns a copy of g with the listed edges carrying their new
+// weights, plus the delta records (new weights only, as ApplyWeightDeltas
+// receives them). Edges whose drawn weight equals the old one are
+// dropped from the records — unchanged edges must not be listed.
+func reweight(g *Graph, newWt map[[2]int]float64) (*Graph, []EdgeRecord) {
+	var recs []EdgeRecord
+	for key, w := range newWt {
+		recs = append(recs, EdgeRecord{U: key[0], V: key[1], Weight: w})
+	}
+	next := g.CloneMapped(func(u, v int, w float64) (float64, bool) {
+		if u > v {
+			u, v = v, u
+		}
+		if nw, ok := newWt[[2]int{u, v}]; ok {
+			return nw, true
+		}
+		return w, true
+	})
+	return next, recs
+}
+
+// TestApplyWeightDeltasRandomSequence drives chained random re-weights —
+// increases, decreases, tie-creating and tie-breaking — and pins
+// ApplyWeightDeltas bit-for-bit against the full rebuild at several
+// worker counts.
+func TestApplyWeightDeltasRandomSequence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 12 + rng.Intn(24)
+		g := randomSimpleGraph(rng, n, n)
+		cur := AllPairs(g)
+		for step := 0; step < 8; step++ {
+			edges := g.Edges()
+			newWt := map[[2]int]float64{}
+			for _, e := range edges {
+				if rng.Intn(4) != 0 {
+					continue
+				}
+				if w := float64(1 + rng.Intn(4)); w != e.Weight {
+					newWt[[2]int{e.U, e.V}] = w
+				}
+			}
+			next, recs := reweight(g, newWt)
+			workers := []int{1, 2, 5, 0}[step%4]
+			inc, dirty := cur.ApplyWeightDeltas(next, recs, workers)
+			apspBitEqual(t, inc, AllPairs(next))
+			if dirty < 0 || dirty > n {
+				t.Fatalf("seed %d step %d: dirty=%d out of range", seed, step, dirty)
+			}
+			g, cur = next, inc
+		}
+	}
+}
+
+// TestApplyWeightDeltasIncreaseNonTreeClean: raising the cost of an edge
+// no shortest-path tree uses must recompute zero rows and share every
+// row with the receiver.
+func TestApplyWeightDeltasIncreaseNonTreeClean(t *testing.T) {
+	// Diamond 0-1-3 / 0-2-3: the deterministic tie-break routes every
+	// tree through vertex 1, leaving {2,3} a pure alternate.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	a := AllPairs(g)
+	for _, s := range []int{0, 1} {
+		if a.Pred(s, 3) == 2 || a.Pred(s, 2) == 3 {
+			t.Fatalf("fixture assumption broken: source %d routes through {2,3}", s)
+		}
+	}
+	next, recs := reweight(g, map[[2]int]float64{{2, 3}: 5})
+	b, dirty := a.ApplyWeightDeltas(next, recs, 1)
+	apspBitEqual(t, b, AllPairs(next))
+	// Only sources 2 and 3 hold {2,3} as a tree edge (their direct hop
+	// to each other); every other tree routes via vertex 1 and stays
+	// clean.
+	if dirty != 2 {
+		t.Fatalf("increase dirtied %d sources, want 2 (only the endpoints)", dirty)
+	}
+	for _, s := range []int{0, 1} {
+		if &b.dist[s][0] != &a.dist[s][0] {
+			t.Fatalf("clean row %d was copied instead of shared", s)
+		}
+	}
+}
+
+// TestApplyWeightDeltasDecreaseReroutes: a decrease that creates a
+// strictly better route must rewire paths through it.
+func TestApplyWeightDeltasDecreaseReroutes(t *testing.T) {
+	// Triangle with a costly chord: 0-1 (4), 0-2 (1), 1-2 (1).
+	g := New(3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	a := AllPairs(g)
+	if a.Cost(0, 1) != 2 || a.Pred(0, 1) != 2 {
+		t.Fatalf("fixture: cost(0,1)=%v pred=%d", a.Cost(0, 1), a.Pred(0, 1))
+	}
+	next, recs := reweight(g, map[[2]int]float64{{0, 1}: 1})
+	b, dirty := a.ApplyWeightDeltas(next, recs, 1)
+	apspBitEqual(t, b, AllPairs(next))
+	if b.Cost(0, 1) != 1 || b.Pred(0, 1) != 0 {
+		t.Fatalf("after decrease: cost(0,1)=%v pred=%d", b.Cost(0, 1), b.Pred(0, 1))
+	}
+	if dirty == 0 {
+		t.Fatal("improving decrease recomputed zero rows")
+	}
+}
+
+// TestApplyWeightDeltasCSR pins the CSR fast path (the router's epoch
+// re-pricing shape: one frozen structure, weights rewritten in place)
+// against AllPairsCSR at several worker counts.
+func TestApplyWeightDeltasCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomSimpleGraph(rng, 30, 40)
+	base := g.Freeze()
+	wt := make([]float64, base.NumSlots())
+	snap := base.Reweight(wt, func(_, _ int, w float64) float64 { return w })
+	cur := AllPairsCSR(snap, 0)
+	for step := 0; step < 6; step++ {
+		// Re-price a random subset of undirected edges in the weight
+		// buffer, collecting one record per changed edge (u < v).
+		changed := map[[2]int]float64{}
+		base.ForEachSlot(func(_, u, v int, w float64) {
+			if u < v && rng.Intn(3) == 0 {
+				changed[[2]int{u, v}] = w * (1 + rng.Float64())
+			}
+		})
+		var recs []EdgeRecord
+		base.ForEachSlot(func(slot, u, v int, _ float64) {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if nw, ok := changed[[2]int{a, b}]; ok {
+				wt[slot] = nw
+				if u < v {
+					recs = append(recs, EdgeRecord{U: u, V: v, Weight: nw})
+				}
+			}
+		})
+		workers := []int{1, 3, 0}[step%3]
+		inc, dirty := cur.ApplyWeightDeltasCSR(snap, recs, workers)
+		apspBitEqual(t, inc, AllPairsCSR(snap, 0))
+		if dirty > snap.Order() {
+			t.Fatalf("step %d: dirty=%d out of range", step, dirty)
+		}
+		cur = inc
+	}
+}
+
+// TestApplyEdgeDeltasMixed drives structural and weight changes in one
+// transition — the shape fault.RebuildFrom produces when a degrade and a
+// removal land in the same event.
+func TestApplyEdgeDeltasMixed(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		n := 10 + rng.Intn(15)
+		g := randomSimpleGraph(rng, n, n)
+		cur := AllPairs(g)
+		down := map[[2]int]bool{}
+		// curWt tracks each edge's current cost across steps, including
+		// while it is down (a removed edge restores at its last cost).
+		curWt := map[[2]int]float64{}
+		for _, e := range g.Edges() {
+			curWt[[2]int{e.U, e.V}] = e.Weight
+		}
+		for step := 0; step < 6; step++ {
+			var removed, restored, reweighted []EdgeRecord
+			newWt := map[[2]int]float64{}
+			for _, e := range g.Edges() {
+				key := [2]int{e.U, e.V}
+				switch {
+				case !down[key] && rng.Intn(8) == 0:
+					down[key] = true
+					removed = append(removed, EdgeRecord{U: e.U, V: e.V, Weight: curWt[key]})
+				case down[key] && rng.Intn(3) == 0:
+					delete(down, key)
+					restored = append(restored, EdgeRecord{U: e.U, V: e.V, Weight: curWt[key]})
+				case !down[key] && rng.Intn(6) == 0:
+					if w := float64(1 + rng.Intn(4)); w != curWt[key] {
+						newWt[key] = w
+					}
+				}
+			}
+			next := g.CloneMapped(func(u, v int, _ float64) (float64, bool) {
+				if u > v {
+					u, v = v, u
+				}
+				key := [2]int{u, v}
+				if down[key] {
+					return 0, false
+				}
+				if nw, ok := newWt[key]; ok {
+					return nw, true
+				}
+				return curWt[key], true
+			})
+			for key, w := range newWt {
+				curWt[key] = w
+				reweighted = append(reweighted, EdgeRecord{U: key[0], V: key[1], Weight: w})
+			}
+			inc, dirty := cur.ApplyEdgeDeltas(next, removed, restored, reweighted, []int{1, 4, 0}[step%3])
+			apspBitEqual(t, inc, AllPairs(next))
+			if dirty < 0 || dirty > n {
+				t.Fatalf("seed %d step %d: dirty=%d", seed, step, dirty)
+			}
+			cur = inc
+		}
+	}
+}
+
+// TestAPSPBlockedLayout asserts the stride contract of newAPSP: rows are
+// logical length n with capacity clamped to n (no bleed into padding),
+// and consecutive rows sit apspStride(n) elements apart in one buffer.
+func TestAPSPBlockedLayout(t *testing.T) {
+	for _, n := range []int{1, 15, 16, 17, 100} {
+		if s := apspStride(n); s < n || s%16 != 0 {
+			t.Fatalf("apspStride(%d)=%d", n, s)
+		}
+	}
+	g := line(20)
+	a := AllPairs(g)
+	n, stride := 20, apspStride(20)
+	for i := 0; i < n; i++ {
+		if len(a.dist[i]) != n || cap(a.dist[i]) != n {
+			t.Fatalf("dist row %d: len=%d cap=%d want %d/%d", i, len(a.dist[i]), cap(a.dist[i]), n, n)
+		}
+		if len(a.prev[i]) != n || cap(a.prev[i]) != n {
+			t.Fatalf("prev row %d: len=%d cap=%d", i, len(a.prev[i]), cap(a.prev[i]))
+		}
+	}
+	for i := 1; i < n; i++ {
+		// Row i starts exactly stride elements after row i-1 in the shared
+		// backing buffer. The capacity clamp forbids re-slicing across the
+		// padding, so measure with pointer arithmetic.
+		dGap := uintptr(unsafe.Pointer(&a.dist[i][0])) - uintptr(unsafe.Pointer(&a.dist[i-1][0]))
+		if dGap != uintptr(stride)*unsafe.Sizeof(float64(0)) {
+			t.Fatalf("dist rows %d,%d are %d bytes apart, want %d elements", i-1, i, dGap, stride)
+		}
+		pGap := uintptr(unsafe.Pointer(&a.prev[i][0])) - uintptr(unsafe.Pointer(&a.prev[i-1][0]))
+		if pGap != uintptr(stride)*unsafe.Sizeof(int32(0)) {
+			t.Fatalf("prev rows %d,%d are %d bytes apart, want %d elements", i-1, i, pGap, stride)
+		}
+	}
+}
+
+// TestWeightDeltaObserverKinds checks that one observer hook sees fault,
+// weight, and mixed deltas with the right kind labels.
+func TestWeightDeltaObserverKinds(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	a := AllPairs(g)
+	var kinds []DeltaKind
+	SetAPSPDeltaObserver(func(kind DeltaKind, vertices, dirty, workers int, _ time.Duration) {
+		if vertices != 4 || dirty < 0 || dirty > 4 {
+			t.Errorf("observer got vertices=%d dirty=%d", vertices, dirty)
+		}
+		kinds = append(kinds, kind)
+	})
+	defer SetAPSPDeltaObserver(nil)
+
+	e01 := []EdgeRecord{{U: 0, V: 1, Weight: 1}}
+	cut := g.CloneFiltered(func(u, v int, _ float64) bool { return !(u == 0 && v == 1 || u == 1 && v == 0) })
+	b, _ := a.ApplyDeltas(cut, e01, nil, 1)
+	_, _ = b.ApplyDeltas(g, nil, e01, 1)
+
+	rw, recs := reweight(g, map[[2]int]float64{{2, 3}: 3})
+	_, _ = a.ApplyWeightDeltas(rw, recs, 1)
+
+	mixed := g.CloneMapped(func(u, v int, w float64) (float64, bool) {
+		if u == 0 && v == 1 || u == 1 && v == 0 {
+			return 0, false
+		}
+		if u+v == 5 { // edge {2,3}
+			return 3, true
+		}
+		return w, true
+	})
+	_, _ = a.ApplyEdgeDeltas(mixed, e01, nil, recs, 1)
+
+	want := []DeltaKind{DeltaFault, DeltaFault, DeltaWeight, DeltaMixed}
+	if len(kinds) != len(want) {
+		t.Fatalf("observer fired %d times, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i, k := range kinds {
+		if k != want[i] {
+			t.Fatalf("delta %d reported kind %q, want %q (all: %v)", i, k, want[i], kinds)
+		}
+	}
+}
+
+// TestApplyWeightDeltasPendantPatch: re-pricing a leaf's single edge
+// must patch the leaf's column in clean rows (dist(s,hub)+w', exact)
+// and recompute only the leaf's own row — this is what keeps host-
+// uplink re-pricing from dirtying every source in host-attached
+// fabrics.
+func TestApplyWeightDeltasPendantPatch(t *testing.T) {
+	// Star: hub 0 with leaves 1..4, plus a 0-5-6 path so clean rows have
+	// interior structure too.
+	g := New(7)
+	for leaf := 1; leaf <= 4; leaf++ {
+		g.AddEdge(0, leaf, 1)
+	}
+	g.AddEdge(0, 5, 1)
+	g.AddEdge(5, 6, 1)
+	a := AllPairs(g)
+
+	next, recs := reweight(g, map[[2]int]float64{{0, 1}: 3})
+	b, dirty := a.ApplyWeightDeltas(next, recs, 1)
+	apspBitEqual(t, b, AllPairs(next))
+	if dirty != 1 {
+		t.Fatalf("pendant re-weight dirtied %d sources, want 1 (the leaf)", dirty)
+	}
+	// Every other row is patched, not shared: column 1 moved.
+	for s := 0; s < 7; s++ {
+		if s == 1 {
+			continue
+		}
+		if &b.dist[s][0] == &a.dist[s][0] {
+			t.Fatalf("row %d shared although column 1 changed", s)
+		}
+		if got, want := b.Cost(s, 1), b.Cost(s, 0)+3; got != want {
+			t.Fatalf("patched dist[%d][1] = %v, want %v", s, got, want)
+		}
+	}
+
+	// The same edge via the CSR path, chained twice (3 -> 0.5).
+	csr1 := next.Freeze()
+	c, dirty := b.ApplyWeightDeltasCSR(csr1.Reweight(nil, func(u, v int, w float64) float64 {
+		if (u == 0 && v == 1) || (u == 1 && v == 0) {
+			return 0.5
+		}
+		return w
+	}), []EdgeRecord{{U: 0, V: 1, Weight: 0.5}}, 1)
+	if dirty != 1 {
+		t.Fatalf("CSR pendant re-weight dirtied %d sources, want 1", dirty)
+	}
+	next2, _ := reweight(g, map[[2]int]float64{{0, 1}: 0.5})
+	apspBitEqual(t, c, AllPairs(next2))
+}
+
+// TestApplyWeightDeltasPendantK2: both endpoints degree 1 (an isolated
+// K2 component) — the column patch is circular, so both rows recompute
+// and rows of the other component stay shared.
+func TestApplyWeightDeltasPendantK2(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 2)
+	a := AllPairs(g)
+	next, recs := reweight(g, map[[2]int]float64{{3, 4}: 7})
+	b, dirty := a.ApplyWeightDeltas(next, recs, 1)
+	apspBitEqual(t, b, AllPairs(next))
+	if dirty != 2 {
+		t.Fatalf("K2 re-weight dirtied %d sources, want 2", dirty)
+	}
+	for s := 0; s <= 2; s++ {
+		if &b.dist[s][0] != &a.dist[s][0] {
+			t.Fatalf("row %d of the untouched component was not shared", s)
 		}
 	}
 }

@@ -138,6 +138,28 @@ func (g *Graph) CloneFiltered(keep func(u, v int, w float64) bool) *Graph {
 	return c
 }
 
+// CloneMapped is CloneFiltered with per-edge re-weighting folded into
+// the same pass: edges map(u, v, w) returns (w', true) for survive with
+// weight w', edges returning false are dropped. Like CloneFiltered the
+// function must be symmetric in its keep decision AND its weight
+// (map(u,v,w) and map(v,u,w) must agree), and adjacency order of kept
+// edges is preserved — the degraded-fabric views in internal/fault rely
+// on order preservation for bit-identical incremental rebuilds.
+func (g *Graph) CloneMapped(mapEdge func(u, v int, w float64) (float64, bool)) *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj))}
+	kept := 0
+	for u, es := range g.adj {
+		for _, e := range es {
+			if w, ok := mapEdge(u, e.To, e.Weight); ok {
+				c.adj[u] = append(c.adj[u], Edge{To: e.To, Weight: w})
+				kept++
+			}
+		}
+	}
+	c.m = kept / 2
+	return c
+}
+
 // Dijkstra computes single-source shortest path costs and predecessor
 // links from src. dist[v] == Inf marks unreachable v; prev[src] == -1 and
 // prev of unreachable vertices is -1.

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"vnfopt/internal/benchmeta"
 	"vnfopt/internal/stats"
 )
 
@@ -170,11 +171,13 @@ type RestartPhase struct {
 
 // Report is the full result of a Run.
 type Report struct {
-	Scenarios   int   `json:"scenarios"`
-	Concurrency int   `json:"concurrency"`
-	Create      Phase `json:"create"`
-	PerCall     Phase `json:"percall_ingest"`
-	Bulk        Phase `json:"bulk_ingest"`
+	// Host pins the machine and toolchain the numbers were recorded on.
+	Host        benchmeta.Host `json:"host"`
+	Scenarios   int            `json:"scenarios"`
+	Concurrency int            `json:"concurrency"`
+	Create      Phase          `json:"create"`
+	PerCall     Phase          `json:"percall_ingest"`
+	Bulk        Phase          `json:"bulk_ingest"`
 	// Restart is present only when Config.Restart was set.
 	Restart *RestartPhase `json:"restart,omitempty"`
 	Read    Phase         `json:"placement_read"`
@@ -203,7 +206,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	g := &generator{cfg: cfg, client: client}
-	rep := &Report{Scenarios: cfg.Scenarios, Concurrency: cfg.Concurrency}
+	rep := &Report{Host: benchmeta.Collect(), Scenarios: cfg.Scenarios, Concurrency: cfg.Concurrency}
 
 	rep.Create = g.runPhase(cfg.Scenarios, g.create)
 	rep.PerCall = g.runPhase(cfg.PerCallRequests, g.perCall)

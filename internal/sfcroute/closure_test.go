@@ -1,0 +1,272 @@
+package sfcroute
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vnfopt/internal/graph"
+	"vnfopt/internal/model"
+	"vnfopt/internal/topology"
+)
+
+// closureEqual pins the delta-maintained closure entry-for-entry
+// (distances bitwise, predecessors exactly) against a rebuild oracle.
+func closureEqual(t *testing.T, got, want *graph.APSP) {
+	t.Helper()
+	n := want.Order()
+	if got.Order() != n {
+		t.Fatalf("closure order %d, want %d", got.Order(), n)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if got.Cost(u, v) != want.Cost(u, v) {
+				t.Fatalf("closure dist[%d][%d]: %v != %v", u, v, got.Cost(u, v), want.Cost(u, v))
+			}
+			if got.Pred(u, v) != want.Pred(u, v) {
+				t.Fatalf("closure prev[%d][%d]: %d != %d", u, v, got.Pred(u, v), want.Pred(u, v))
+			}
+		}
+	}
+}
+
+// weightedFatTree is the closure fixture: PaperDelay weights break the
+// unit-weight tie mass so the dirty classification has distinct
+// distances to discriminate on.
+func weightedFatTree(k int) *model.PPDC {
+	topo := topology.MustFatTree(k, topology.PaperDelay(rand.New(rand.NewSource(7))))
+	return model.MustNew(topo, model.Options{})
+}
+
+// rackOf groups hosts by their edge switch and returns one switch with
+// at least two attached hosts plus those hosts.
+func rackOf(t *testing.T, d *model.PPDC) (int, []int) {
+	t.Helper()
+	racks := map[int][]int{}
+	for _, h := range d.Hosts() {
+		nb := d.Topo.Graph.Neighbors(h)
+		if len(nb) != 1 {
+			t.Fatalf("host %d has degree %d, want 1", h, len(nb))
+		}
+		racks[nb[0].To] = append(racks[nb[0].To], h)
+	}
+	for _, sw := range d.Switches() {
+		if hs := racks[sw]; len(hs) >= 2 {
+			return sw, hs
+		}
+	}
+	t.Fatal("no rack with two hosts")
+	return 0, nil
+}
+
+// TestClosureDeltaAcrossEpochs drives the router through repriced
+// epochs and pins the delta-maintained priced closure bitwise against a
+// full AllPairsCSR rebuild after every epoch.
+//
+// The flash crowd is rack-local — hot flows between hosts under one
+// edge switch, with the chain's single site on that switch — so each
+// epoch re-prices only the rack's links: the host uplinks take the
+// pendant-patch path and the classification must leave most of the
+// fabric's rows untouched (0 < dirty < n). A final spread-traffic epoch
+// through three spread core sites re-prices popular spine links, where
+// a large (even full) dirty set is legitimate; bit-identity is the only
+// claim there.
+func TestClosureDeltaAcrossEpochs(t *testing.T) {
+	d := weightedFatTree(8)
+	r, err := NewRouter(d, Config{Capacity: 1000, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, rack := rackOf(t, d)
+	sites := [][]int{{sw}}
+	if err := r.BeginEpoch(sites); err != nil {
+		t.Fatalf("BeginEpoch: %v", err)
+	}
+	n := d.Topo.Graph.Order()
+	// Build the closure on the pristine prices; every later epoch must
+	// repair, not rebuild, this matrix.
+	closureEqual(t, r.Closure(), graph.AllPairsCSR(r.priced, 0))
+
+	sawPartial := false
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i < 4+epoch; i++ {
+			if _, err := r.Admit(rack[0], rack[1], 40); err != nil {
+				t.Fatalf("admit hot flow: %v", err)
+			}
+		}
+		if err := r.BeginEpoch(sites); err != nil {
+			t.Fatalf("BeginEpoch %d: %v", epoch, err)
+		}
+		closureEqual(t, r.Closure(), graph.AllPairsCSR(r.priced, 0))
+		dirty := r.ClosureDirty()
+		if dirty <= 0 || dirty > n {
+			t.Fatalf("epoch %d: dirty %d outside (0,%d]", epoch, dirty, n)
+		}
+		if dirty < n {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no rack-local epoch repaired the closure partially (dirty < n): the delta path is not saving work")
+	}
+
+	// Spread traffic through three spread core sites: heavy spine
+	// re-pricing, full bit-identity still required.
+	spread := benchSites(d)
+	if err := r.BeginEpoch(spread); err != nil {
+		t.Fatal(err)
+	}
+	hosts := d.Hosts()
+	for i := 0; i < 8; i++ {
+		if _, err := r.Admit(hosts[i], hosts[len(hosts)-1-i], 25); err != nil {
+			t.Fatalf("admit spread flow: %v", err)
+		}
+	}
+	if err := r.BeginEpoch(spread); err != nil {
+		t.Fatal(err)
+	}
+	closureEqual(t, r.Closure(), graph.AllPairsCSR(r.priced, 0))
+
+	// An epoch with no committed load re-prices every link back to its
+	// base weight; the repair must land exactly on the pristine closure.
+	if err := r.BeginEpoch(sites); err != nil {
+		t.Fatal(err)
+	}
+	closureEqual(t, r.Closure(), graph.AllPairsCSR(r.priced, 0))
+}
+
+// TestBlindChainCostMatchesRoute: the closure DP agrees with the
+// layered Dijkstra on chain-constrained costs under non-trivial prices
+// (up to float summation order), and collapses to the plain closure
+// distance when the chain has no stages.
+func TestBlindChainCostMatchesRoute(t *testing.T) {
+	d := weightedFatTree(4)
+	r, err := NewRouter(d, Config{Capacity: 500, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := benchSites(d)
+	if err := r.BeginEpoch(sites); err != nil {
+		t.Fatal(err)
+	}
+	hosts := d.Hosts()
+	for i := 0; i < 6; i++ {
+		if _, err := r.Admit(hosts[i%len(hosts)], hosts[(i*7+3)%len(hosts)], 30); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	if err := r.BeginEpoch(sites); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(hosts); i++ {
+		src, dst := hosts[i], hosts[(i*7+3)%len(hosts)]
+		res, err := r.Route(src, dst)
+		if err != nil {
+			t.Fatalf("Route(%d,%d): %v", src, dst, err)
+		}
+		got, err := r.BlindChainCost(src, dst)
+		if err != nil {
+			t.Fatalf("BlindChainCost(%d,%d): %v", src, dst, err)
+		}
+		if diff := math.Abs(got - res.Cost); diff > 1e-9*(1+math.Abs(res.Cost)) {
+			t.Fatalf("BlindChainCost(%d,%d) = %v, Route cost %v", src, dst, got, res.Cost)
+		}
+	}
+
+	// Stage-free chain: the DP is exactly one closure lookup.
+	if err := r.BeginEpoch(nil); err != nil {
+		t.Fatal(err)
+	}
+	cl := r.Closure()
+	for i := 0; i < 8; i++ {
+		src, dst := hosts[i%len(hosts)], hosts[(i*5+2)%len(hosts)]
+		got, err := r.BlindChainCost(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cl.Cost(src, dst) {
+			t.Fatalf("stage-free BlindChainCost(%d,%d) = %v, closure %v", src, dst, got, cl.Cost(src, dst))
+		}
+	}
+}
+
+func TestBlindChainCostBeforeBeginEpoch(t *testing.T) {
+	d := weightedFatTree(4)
+	r, err := NewRouter(d, Config{Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.BlindChainCost(0, 1); err == nil {
+		t.Fatal("BlindChainCost before BeginEpoch succeeded")
+	}
+}
+
+// BenchmarkClosureReprice compares maintaining the priced closure
+// across epochs through the weight-delta path against rebuilding it
+// from scratch each epoch, under a rack-local flash crowd (the regime
+// the delta path is built for: few links re-priced, most rows shared).
+func BenchmarkClosureReprice(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		d := weightedFatTree(k)
+		sw, rack := 0, []int(nil)
+		for _, cand := range d.Switches() {
+			var hs []int
+			for _, nb := range d.Topo.Graph.Neighbors(cand) {
+				if d.Topo.Kind[nb.To] == topology.Host {
+					hs = append(hs, nb.To)
+				}
+			}
+			if len(hs) >= 2 {
+				sw, rack = cand, hs
+				break
+			}
+		}
+		sites := [][]int{{sw}}
+		crowd := func(b *testing.B, r *Router, extra int) {
+			for i := 0; i < 4+extra%3; i++ {
+				if _, err := r.Admit(rack[0], rack[1], 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("fat-tree-k%d/delta", k), func(b *testing.B) {
+			r, err := NewRouter(d, Config{Capacity: 1000, Alpha: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.BeginEpoch(sites); err != nil {
+				b.Fatal(err)
+			}
+			r.Closure()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				crowd(b, r, i)
+				if err := r.BeginEpoch(sites); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fat-tree-k%d/rebuild", k), func(b *testing.B) {
+			r, err := NewRouter(d, Config{Capacity: 1000, Alpha: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.BeginEpoch(sites); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				crowd(b, r, i)
+				if err := r.BeginEpoch(sites); err != nil {
+					b.Fatal(err)
+				}
+				if graph.AllPairsCSR(r.priced, 0) == nil {
+					b.Fatal("nil closure")
+				}
+			}
+		})
+	}
+}

@@ -73,6 +73,31 @@ func TestJellyfishStructure(t *testing.T) {
 	}
 }
 
+// TestJellyfish10kFixture pins the 10k-switch benchmark fixture
+// (BenchmarkWeightEvent's jellyfish_10k): same arguments, same seed —
+// a connected 6-regular-ish fabric at the scale the weight-delta APSP
+// path is sized for.
+func TestJellyfish10kFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-switch generation in -short mode")
+	}
+	jf, err := Jellyfish(10000, 6, 0, nil, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if jf.NumSwitches() != 10000 || jf.NumHosts() != 0 {
+		t.Fatalf("dims: %d switches / %d hosts, want 10000/0", jf.NumSwitches(), jf.NumHosts())
+	}
+	for _, s := range jf.Switches {
+		if d := jf.Graph.Degree(s); d < 2 || d > 6 {
+			t.Fatalf("switch %d degree %d outside [2,6]", s, d)
+		}
+	}
+}
+
 func TestJellyfishDeterministic(t *testing.T) {
 	a, _ := Jellyfish(15, 3, 1, nil, rand.New(rand.NewSource(9)))
 	b, _ := Jellyfish(15, 3, 1, nil, rand.New(rand.NewSource(9)))

@@ -20,6 +20,7 @@ func TestFatTreeSizes(t *testing.T) {
 		{4, 16, 20, 8, 2, 4},
 		{8, 128, 80, 32, 4, 8},
 		{16, 1024, 320, 128, 8, 16},
+		{32, 8192, 1280, 512, 16, 32}, // the BenchmarkWeightEvent big-fabric fixture
 	}
 	for _, tc := range cases {
 		ft, err := FatTree(tc.k, nil)
